@@ -1,0 +1,214 @@
+package datacitation
+
+import (
+	"repro/internal/citation"
+	"repro/internal/citeexpr"
+	"repro/internal/citestore"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/fixity"
+	"repro/internal/format"
+	"repro/internal/policy"
+	"repro/internal/rewrite"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// System is a citation-enabled database: versioned storage, a citation
+// view registry, and a rewriting-based citation generator.
+type System = core.System
+
+// CitationSpec pairs a citation query with its field mapping when defining
+// a view through System.DefineView.
+type CitationSpec = core.CitationSpec
+
+// Citation is the outcome of citing a query: structural result plus
+// optional fixity pin.
+type Citation = core.Citation
+
+// NewSystem creates a citation-enabled database over the schema.
+func NewSystem(s *Schema) *System { return core.NewSystem(s) }
+
+// NewSystemFromDatabase wraps an already-loaded database.
+func NewSystemFromDatabase(db *Database) *System { return core.NewSystemFromDatabase(db) }
+
+// Schema describes a database schema; Relation describes one relation.
+type (
+	// Schema is a named collection of relation schemas.
+	Schema = schema.Schema
+	// RelationSchema is the schema of a single relation.
+	RelationSchema = schema.Relation
+	// Attribute is a named, typed column.
+	Attribute = schema.Attribute
+)
+
+// NewSchema creates an empty schema.
+func NewSchema() *Schema { return schema.New() }
+
+// NewRelationSchema builds a relation schema with optional key columns.
+func NewRelationSchema(name string, attrs []Attribute, keyCols ...string) (*RelationSchema, error) {
+	return schema.NewRelation(name, attrs, keyCols...)
+}
+
+// Database and Tuple are the storage primitives.
+type (
+	// Database binds relation instances to a schema.
+	Database = storage.Database
+	// Relation is one relation instance.
+	Relation = storage.Relation
+	// Tuple is an ordered list of values.
+	Tuple = storage.Tuple
+)
+
+// NewDatabase creates an empty database for the schema.
+func NewDatabase(s *Schema) *Database { return storage.NewDatabase(s) }
+
+// Value is a typed scalar; the Kind* constants enumerate its kinds.
+type Value = value.Value
+
+// Value kinds for schema attributes.
+const (
+	KindString = value.KindString
+	KindInt    = value.KindInt
+	KindFloat  = value.KindFloat
+	KindTime   = value.KindTime
+)
+
+// String, Int, Float and Time construct values.
+var (
+	// String constructs a string value.
+	String = value.String
+	// Int constructs an integer value.
+	Int = value.Int
+	// Float constructs a floating-point value.
+	Float = value.Float
+	// Time constructs a time value.
+	Time = value.Time
+)
+
+// Query is a conjunctive query; ParseQuery parses the datalog syntax.
+type Query = cq.Query
+
+// ParseQuery parses a conjunctive query, e.g.
+// "lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)".
+func ParseQuery(src string) (*Query, error) { return cq.Parse(src) }
+
+// MustParseQuery is ParseQuery but panics on error.
+func MustParseQuery(src string) *Query { return cq.MustParse(src) }
+
+// View, Registry and Generator expose the citation core for advanced use;
+// most callers go through System.
+type (
+	// View is a citation view (view query + citation queries + function).
+	View = citation.View
+	// CitationQuery pulls citation snippets for a view.
+	CitationQuery = citation.CitationQuery
+	// Registry holds the declared citation views.
+	Registry = citation.Registry
+	// Generator constructs citations for queries.
+	Generator = citation.Generator
+	// Result is the citation of a query answer.
+	Result = citation.Result
+	// TupleCitation is the citation of one answer tuple.
+	TupleCitation = citation.TupleCitation
+)
+
+// ErrNoRewriting is returned when no rewriting over the registered views
+// exists and no citation can be constructed.
+var ErrNoRewriting = citation.ErrNoRewriting
+
+// Record is a structured citation record; NewRecord builds one from
+// field/value pairs.
+type Record = format.Record
+
+// NewRecord builds a record from alternating field, value pairs.
+func NewRecord(pairs ...string) Record { return format.NewRecord(pairs...) }
+
+// Formatting helpers re-exported from internal/format.
+var (
+	// FormatText renders a record as human-readable text.
+	FormatText = format.Text
+	// FormatBibTeX renders a record as a BibTeX entry.
+	FormatBibTeX = format.BibTeX
+	// FormatRIS renders a record in RIS format.
+	FormatRIS = format.RIS
+	// FormatXML renders a record as XML.
+	FormatXML = format.XML
+	// FormatJSON renders a record as JSON.
+	FormatJSON = format.JSON
+)
+
+// Standard citation field names.
+const (
+	FieldAuthor     = format.FieldAuthor
+	FieldTitle      = format.FieldTitle
+	FieldDatabase   = format.FieldDatabase
+	FieldIdentifier = format.FieldIdentifier
+	FieldVersion    = format.FieldVersion
+	FieldDate       = format.FieldDate
+	FieldURL        = format.FieldURL
+	FieldNote       = format.FieldNote
+)
+
+// Policy fixes the interpretation of the four abstract operators.
+type Policy = policy.Policy
+
+// DefaultPolicy returns the paper's closing-example policy: union for `·`,
+// `+` and Agg; minimum estimated size for `+R`.
+func DefaultPolicy() Policy { return policy.Default() }
+
+// Policy building blocks.
+const (
+	// CombineUnion merges records field-wise.
+	CombineUnion = policy.Union
+	// CombineJoin keeps only common field/value pairs.
+	CombineJoin = policy.Join
+	// CombineFirst keeps the first operand.
+	CombineFirst = policy.First
+	// SelectMinSize picks the rewriting with the fewest citation atoms.
+	SelectMinSize = policy.MinSize
+	// SelectAllBranches combines all rewritings instead of selecting.
+	SelectAllBranches = policy.AllBranches
+	// SelectMaxCoverage picks the rewriting with the most citation atoms.
+	SelectMaxCoverage = policy.MaxCoverage
+)
+
+// Expr is a citation expression (the formal `·`/`+`/`+R`/Agg tree).
+type Expr = citeexpr.Expr
+
+// ExprSize counts the distinct citation atoms of an expression — the
+// paper's estimated citation size.
+func ExprSize(e Expr) int { return citeexpr.Size(e) }
+
+// Fixity types for version-pinned citations.
+type (
+	// VersionedStore is a database with immutable committed versions.
+	VersionedStore = fixity.Store
+	// Version identifies a committed snapshot.
+	Version = fixity.Version
+	// PinnedCitation fixes a query result in time.
+	PinnedCitation = fixity.PinnedCitation
+)
+
+// CiteStore is a content-addressed, searchable store of extended
+// citations — the §3 "size of citations" mechanism. Citation.Archive
+// deposits into it.
+type CiteStore = citestore.Store
+
+// NewCiteStore creates an empty extended-citation store.
+func NewCiteStore() *CiteStore { return citestore.NewStore() }
+
+// ExtendedCitation is a stored extended citation.
+type ExtendedCitation = citestore.Extended
+
+// RewriteMethod selects the rewriting algorithm.
+type RewriteMethod = rewrite.Method
+
+// Rewriting algorithms.
+const (
+	// MiniCon is the MiniCon algorithm (default).
+	MiniCon = rewrite.MethodMiniCon
+	// Bucket is the bucket-algorithm baseline.
+	Bucket = rewrite.MethodBucket
+)

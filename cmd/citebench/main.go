@@ -1,0 +1,58 @@
+// Command citebench runs the experiment suite documented in EXPERIMENTS.md
+// and prints one table per experiment. The source paper has no measured
+// tables (it is a vision paper); each table here operationalizes one of
+// its prose claims — see the "claim" line above each table.
+//
+// Usage:
+//
+//	citebench            # run everything
+//	citebench -only E2   # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("citebench: ")
+	only := flag.String("only", "", "run a single experiment (E0..E8)")
+	flag.Parse()
+
+	if *only == "" {
+		if err := experiments.All(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	runners := map[string]func() (*experiments.Table, error){
+		"E0": experiments.E0PaperExample,
+		"E1": experiments.E1RewritingSearch,
+		"E2": experiments.E2CitationSize,
+		"E3": experiments.E3GenerationLatency,
+		"E4": experiments.E4Incremental,
+		"E5": experiments.E5MiniConVsBucket,
+		"E6": experiments.E6Fixity,
+		"E7": experiments.E7Coverage,
+		"E8": experiments.E8AnnotationOverhead,
+		"E9": experiments.E9ViewAdvisor,
+	}
+	run, ok := runners[strings.ToUpper(*only)]
+	if !ok {
+		log.Fatalf("unknown experiment %q (want E0..E9)", *only)
+	}
+	t, err := run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

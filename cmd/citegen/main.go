@@ -1,0 +1,105 @@
+// Command citegen generates a citation for a conjunctive query over a
+// database described by a spec file (see internal/spec for the format).
+//
+// Usage:
+//
+//	citegen -spec db.dcs -query "Q(FName) :- Family(FID, FName, Desc)" \
+//	        [-format text|bibtex|ris|xml|json] [-policy minsize|maxcoverage|all] \
+//	        [-partial] [-pruned] [-explain]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	datacitation "repro"
+	"repro/internal/spec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("citegen: ")
+	specPath := flag.String("spec", "", "path to the spec file (schema + tuples + views)")
+	querySrc := flag.String("query", "", "conjunctive query to cite")
+	outFormat := flag.String("format", "text", "output format: text, bibtex, ris, xml, json")
+	polName := flag.String("policy", "minsize", "+R policy: minsize, maxcoverage, all")
+	partial := flag.Bool("partial", false, "fall back to partial rewritings")
+	pruned := flag.Bool("pruned", false, "cost-pruned generation (evaluate one rewriting)")
+	explain := flag.Bool("explain", false, "print rewritings and formal citation expressions")
+	bibKey := flag.String("key", "datacitation", "BibTeX citation key")
+	flag.Parse()
+
+	if *specPath == "" || *querySrc == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := spec.Load(string(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := datacitation.DefaultPolicy()
+	switch *polName {
+	case "minsize":
+		p.AltR = datacitation.SelectMinSize
+	case "maxcoverage":
+		p.AltR = datacitation.SelectMaxCoverage
+	case "all":
+		p.AltR = datacitation.SelectAllBranches
+	default:
+		log.Fatalf("unknown policy %q", *polName)
+	}
+	sys.SetPolicy(p)
+	sys.Generator().AllowPartial = *partial
+	sys.Generator().CostPruned = *pruned
+	sys.Commit("citegen load")
+
+	cite, err := sys.Cite(*querySrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *explain {
+		fmt.Printf("-- %d rewriting(s) --\n", len(cite.Result.Rewritings))
+		for _, rw := range cite.Result.Rewritings {
+			fmt.Printf("  %s\n", rw)
+		}
+		fmt.Printf("-- %d answer tuple(s) --\n", len(cite.Result.Tuples))
+		for _, tc := range cite.Result.Tuples {
+			fmt.Printf("  %s\n    formal: %s\n    selected: %s\n", tc.Tuple, tc.Expr, tc.Selected)
+		}
+		fmt.Printf("-- stats: rewritings=%d evaluated=%d candidates=%d atoms=%d pruned=%v --\n",
+			cite.Result.Stats.RewritingsFound, cite.Result.Stats.RewritingsEvaluated,
+			cite.Result.Stats.CandidatesExamined, cite.Result.Stats.AtomsResolved,
+			cite.Result.Stats.Pruned)
+	}
+
+	switch *outFormat {
+	case "text":
+		fmt.Println(cite.Text())
+	case "bibtex":
+		fmt.Println(cite.BibTeX(*bibKey))
+	case "ris":
+		fmt.Print(cite.RIS())
+	case "xml":
+		out, err := cite.XML()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	case "json":
+		out, err := cite.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	default:
+		log.Fatalf("unknown format %q", *outFormat)
+	}
+}

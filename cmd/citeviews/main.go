@@ -1,0 +1,114 @@
+// Command citeviews analyzes how well a spec file's citation views cover a
+// query workload — the paper's §3 "defining citations" question: are these
+// views the "best" ones for the expected workload?
+//
+// Usage:
+//
+//	citeviews -spec db.dcs                       # validate + summarize views
+//	citeviews -spec db.dcs -queries workload.cq  # coverage report
+//	citeviews -spec db.dcs -random 100           # random-workload coverage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/advisor"
+	"repro/internal/cq"
+	"repro/internal/rewrite"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("citeviews: ")
+	specPath := flag.String("spec", "", "path to the spec file")
+	queriesPath := flag.String("queries", "", "optional workload file (one query per line)")
+	randomN := flag.Int("random", 0, "generate a random workload of this size instead")
+	seed := flag.Int64("seed", 1, "random workload seed")
+	suggest := flag.Int("suggest", 0, "recommend up to this many views for the workload (view advisor)")
+	flag.Parse()
+
+	if *specPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := spec.Load(string(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := sys.Registry()
+
+	fmt.Printf("schema (%d relations):\n%s\n\n", sys.Database().Schema().Len(), sys.Database().Schema())
+	fmt.Printf("views (%d):\n", reg.Len())
+	for _, v := range reg.Views() {
+		kind := "unparameterized"
+		if v.Query.IsParameterized() {
+			kind = fmt.Sprintf("parameterized by %v", v.Query.Params)
+		}
+		fmt.Printf("  %s  [%s, %d citation quer%s]\n", v.Query, kind,
+			len(v.Citations), plural(len(v.Citations), "y", "ies"))
+	}
+
+	var queries []*cq.Query
+	switch {
+	case *queriesPath != "":
+		qraw, err := os.ReadFile(*queriesPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queries, err = cq.ParseProgram(string(qraw))
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *randomN > 0:
+		cfg := workload.DefaultConfig()
+		cfg.Queries = *randomN
+		cfg.Seed = *seed
+		queries, err = workload.Generate(sys.Database().Schema(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		return
+	}
+
+	rep, err := reg.AnalyzeCoverage(queries, rewrite.MethodMiniCon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncoverage over %d queries:\n", rep.Total)
+	fmt.Printf("  covered (complete rewriting): %d\n", rep.Covered)
+	fmt.Printf("  partially covered:            %d\n", rep.Partial)
+	fmt.Printf("  uncovered:                    %d\n", rep.Uncovered)
+	fmt.Printf("  coverage ratio:               %.2f\n", rep.CoverageRatio())
+
+	if *suggest > 0 {
+		rec, err := advisor.Recommend(sys.Database().Schema(), queries, advisor.Options{
+			MaxViews: *suggest,
+			Method:   rewrite.MethodMiniCon,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nview advisor (budget %d): %d view(s) covering %d/%d queries (%.2f)\n",
+			*suggest, len(rec.Views), rec.Covered, rec.Total, rec.CoverageRatio())
+		for i, v := range rec.Views {
+			fmt.Printf("  +%d queries  %s  [%s]\n", rec.MarginalGain[i], v.Query, v.Source)
+		}
+	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

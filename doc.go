@@ -1,0 +1,35 @@
+// Package datacitation is a Go implementation of the data-citation model
+// of Davidson, Buneman, Deutch, Milo and Silvello, "Data Citation: A
+// Computational Challenge" (PODS 2017).
+//
+// The model: a database owner declares citation views — conjunctive-query
+// views, optionally parameterized by λ-variables, each carrying citation
+// queries (which pull citation snippets from the database) and a citation
+// function (which assembles the snippets into a citation record). Given an
+// arbitrary conjunctive query Q, the system rewrites Q over the views,
+// evaluates each rewriting with citation annotations propagated through
+// the provenance-semiring machinery of Green et al., and combines the
+// per-view citations with four owner-chosen policies: `·` for joint use
+// within a binding, `+` for alternative bindings, `+R` for alternative
+// rewritings, and Agg for aggregating tuple-level citations into the
+// citation of the whole answer.
+//
+// Quick start:
+//
+//	sys := datacitation.NewSystem(mySchema)
+//	// load data into sys.Database(), then:
+//	err := sys.DefineView(
+//	    "lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)",
+//	    datacitation.NewRecord("database", "IUPHAR/BPS Guide to PHARMACOLOGY"),
+//	    datacitation.CitationSpec{
+//	        Query:  "lambda FID. CV1(FID, PName) :- Committee(FID, PName)",
+//	        Fields: []string{"identifier", "author"},
+//	    })
+//	sys.Commit("initial release")
+//	cite, err := sys.Cite("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+//	fmt.Println(cite.Text())
+//
+// The package is a façade: the implementation lives in internal/
+// subpackages (cq, rewrite, contain, semiring, eval, citeexpr, policy,
+// citation, fixity, evolution, format, storage), documented in DESIGN.md.
+package datacitation

@@ -1,0 +1,215 @@
+// Package advisor implements the paper's §3 "defining citations" open
+// problem: "interesting questions around defining and efficiently deciding
+// whether these views represent the 'best' ones given an expected query
+// workload, i.e. the ones that 'cover' the expected queries".
+//
+// Given a schema and an expected workload of conjunctive queries, the
+// advisor mines candidate views (per-relation identity views plus the
+// minimized shapes of the workload queries themselves), then greedily
+// selects the set that maximizes workload coverage under a view-count
+// budget. Coverage of a query means a complete equivalent rewriting over
+// the selected views exists.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/contain"
+	"repro/internal/cq"
+	"repro/internal/rewrite"
+	"repro/internal/schema"
+)
+
+// Candidate is a possible citation view together with bookkeeping about
+// where it came from.
+type Candidate struct {
+	Query *cq.Query
+	// Source is "relation" for identity views or "workload" for views
+	// mined from workload query shapes.
+	Source string
+}
+
+// CandidateViews mines candidate views:
+//   - one identity view per base relation (head = all columns), and
+//   - for each workload query, its minimized shape promoted to a view
+//     (head = query head extended with join variables so the view stays
+//     usable inside larger rewritings), capped at maxAtoms body atoms.
+//
+// Candidates are deduplicated up to variable renaming.
+func CandidateViews(s *schema.Schema, workload []*cq.Query, maxAtoms int) []Candidate {
+	var out []Candidate
+	seen := make(map[string]bool)
+	add := func(q *cq.Query, source string) {
+		sig := q.Signature()
+		if seen[sig] {
+			return
+		}
+		seen[sig] = true
+		out = append(out, Candidate{Query: q, Source: source})
+	}
+	// Identity views.
+	for _, name := range s.Names() {
+		rel := s.Relation(name)
+		v := &cq.Query{Name: fmt.Sprintf("AV_%s", name)}
+		terms := make([]cq.Term, rel.Arity())
+		for i, a := range rel.Attributes {
+			terms[i] = cq.Var(a.Name)
+			v.Head = append(v.Head, cq.Var(a.Name))
+		}
+		v.Body = []cq.Atom{cq.NewAtom(name, terms...)}
+		add(v, "relation")
+	}
+	// Workload shapes.
+	for wi, q := range workload {
+		m := contain.Minimize(q)
+		if maxAtoms > 0 && len(m.Body) > maxAtoms {
+			continue
+		}
+		v := m.Clone()
+		v.Name = fmt.Sprintf("AV_w%d", wi)
+		v.Params = nil
+		// Extend the head with all body variables so the view exposes its
+		// join columns; rewriting can always project them away, but a
+		// projected-away join variable can never be recovered.
+		headVars := make(map[string]bool)
+		for _, hv := range v.HeadVars() {
+			headVars[hv] = true
+		}
+		for _, bv := range v.BodyVars() {
+			if !headVars[bv] {
+				v.Head = append(v.Head, cq.Var(bv))
+				headVars[bv] = true
+			}
+		}
+		if err := v.Validate(); err != nil {
+			continue
+		}
+		add(v, "workload")
+	}
+	return out
+}
+
+// Recommendation is the advisor's output: the chosen views in selection
+// order, the marginal number of newly covered workload queries each one
+// contributed, and the resulting coverage.
+type Recommendation struct {
+	Views        []Candidate
+	MarginalGain []int
+	Covered      int
+	Total        int
+}
+
+// CoverageRatio returns Covered/Total (0 for an empty workload).
+func (r *Recommendation) CoverageRatio() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(r.Total)
+}
+
+// Options tune the advisor.
+type Options struct {
+	// MaxViews is the view-count budget (0 = unlimited: stop when no
+	// candidate adds coverage).
+	MaxViews int
+	// MaxCandidateAtoms caps the body size of mined workload-shape
+	// candidates (0 = default 3).
+	MaxCandidateAtoms int
+	// Method selects the rewriting algorithm used for coverage checks.
+	Method rewrite.Method
+}
+
+// Recommend greedily selects views from the mined candidates to maximize
+// workload coverage: at each step the candidate covering the most not-yet-
+// covered workload queries (ties: fewer body atoms, then name) is added,
+// until the budget is exhausted or no candidate helps.
+func Recommend(s *schema.Schema, workload []*cq.Query, opts Options) (*Recommendation, error) {
+	maxAtoms := opts.MaxCandidateAtoms
+	if maxAtoms == 0 {
+		maxAtoms = 3
+	}
+	candidates := CandidateViews(s, workload, maxAtoms)
+	rec := &Recommendation{Total: len(workload)}
+	covered := make([]bool, len(workload))
+	var chosen []*cq.Query
+
+	coversWith := func(extra *cq.Query, qi int) (bool, error) {
+		views := append(append([]*cq.Query(nil), chosen...), extra)
+		res, err := rewrite.Rewrite(workload[qi], views, rewrite.Options{
+			Method:        opts.Method,
+			MaxRewritings: 1,
+		})
+		if err != nil {
+			return false, err
+		}
+		return len(res.Rewritings) > 0, nil
+	}
+
+	remainingBudget := opts.MaxViews
+	for {
+		if opts.MaxViews > 0 && remainingBudget == 0 {
+			break
+		}
+		bestIdx, bestGain := -1, 0
+		var bestNewly []int
+		for ci, cand := range candidates {
+			if candChosen(chosen, cand.Query) {
+				continue
+			}
+			gain := 0
+			var newly []int
+			for qi := range workload {
+				if covered[qi] {
+					continue
+				}
+				ok, err := coversWith(cand.Query, qi)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					gain++
+					newly = append(newly, qi)
+				}
+			}
+			if gain > bestGain ||
+				(gain == bestGain && gain > 0 && bestIdx >= 0 && betterTie(cand, candidates[bestIdx])) {
+				bestIdx, bestGain, bestNewly = ci, gain, newly
+			}
+		}
+		if bestIdx < 0 || bestGain == 0 {
+			break
+		}
+		best := candidates[bestIdx]
+		chosen = append(chosen, best.Query)
+		rec.Views = append(rec.Views, best)
+		rec.MarginalGain = append(rec.MarginalGain, bestGain)
+		for _, qi := range bestNewly {
+			covered[qi] = true
+		}
+		rec.Covered += bestGain
+		if opts.MaxViews > 0 {
+			remainingBudget--
+		}
+	}
+	sort.SliceStable(rec.Views, func(i, j int) bool { return false }) // keep selection order
+	return rec, nil
+}
+
+func candChosen(chosen []*cq.Query, q *cq.Query) bool {
+	for _, c := range chosen {
+		if c.Name == q.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// betterTie prefers smaller (cheaper to maintain) views, then stable name
+// order, when marginal gains are equal.
+func betterTie(a, b Candidate) bool {
+	if len(a.Query.Body) != len(b.Query.Body) {
+		return len(a.Query.Body) < len(b.Query.Body)
+	}
+	return a.Query.Name < b.Query.Name
+}

@@ -1,0 +1,450 @@
+package citation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/citeexpr"
+	"repro/internal/cq"
+	"repro/internal/eval"
+	"repro/internal/format"
+	"repro/internal/policy"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// ErrNoRewriting is returned when the registered views admit no rewriting
+// of the query (not even a partial one, when partial rewritings are
+// enabled) and therefore no citation can be constructed.
+var ErrNoRewriting = errors.New("citation: query has no rewriting over the registered views")
+
+// Generator constructs citations for conjunctive queries over one database
+// using one view registry and one combination policy.
+type Generator struct {
+	reg *Registry
+	db  *storage.Database
+	pol policy.Policy
+
+	// Method selects the rewriting algorithm.
+	Method rewrite.Method
+	// AllowPartial falls back to partial rewritings when no complete
+	// rewriting exists; residual base atoms contribute no citation.
+	AllowPartial bool
+	// CostPruned enables schema-level pruning (paper §3, "calculating
+	// citations"): instead of evaluating every rewriting and applying +R
+	// afterwards, the generator estimates each rewriting's citation size
+	// from relation statistics and evaluates only the best one. Only
+	// effective when the policy's +R strategy selects a single branch.
+	CostPruned bool
+	// MaxRewritings caps the rewriting search (0 = unlimited).
+	MaxRewritings int
+
+	viewCache  map[string]*storage.Relation
+	atomCache  map[string]format.Record
+	paramPos   map[string][]int
+	statsDirty bool
+}
+
+// NewGenerator builds a Generator with the paper's default policy.
+func NewGenerator(reg *Registry, db *storage.Database) *Generator {
+	return &Generator{
+		reg:       reg,
+		db:        db,
+		pol:       policy.Default(),
+		viewCache: make(map[string]*storage.Relation),
+		atomCache: make(map[string]format.Record),
+		paramPos:  make(map[string][]int),
+	}
+}
+
+// SetPolicy replaces the combination policy.
+func (g *Generator) SetPolicy(p policy.Policy) { g.pol = p }
+
+// Policy returns the current combination policy.
+func (g *Generator) Policy() policy.Policy { return g.pol }
+
+// Registry returns the generator's view registry.
+func (g *Generator) Registry() *Registry { return g.reg }
+
+// Database returns the generator's database.
+func (g *Generator) Database() *storage.Database { return g.db }
+
+// InvalidateCache drops materialized views and resolved citation records;
+// call after modifying the database. The evolution package refreshes the
+// caches incrementally instead.
+func (g *Generator) InvalidateCache() {
+	g.viewCache = make(map[string]*storage.Relation)
+	g.atomCache = make(map[string]format.Record)
+}
+
+// TupleCitation is the citation of a single answer tuple: its full formal
+// expression (an AltR over the rewritings), the branch chosen by the +R
+// policy, and the concrete record after policy evaluation.
+type TupleCitation struct {
+	Tuple    storage.Tuple
+	Expr     citeexpr.Expr
+	Selected citeexpr.Expr
+	Record   format.Record
+}
+
+// Stats reports the work performed while generating a citation.
+type Stats struct {
+	RewritingsFound     int
+	RewritingsEvaluated int
+	CandidatesExamined  int
+	AtomsResolved       int
+	Pruned              bool
+}
+
+// Result is the citation of a query answer: per-tuple citations plus the
+// aggregated result-level citation (the paper's Agg).
+type Result struct {
+	Query      *cq.Query
+	Rewritings []*rewrite.Rewriting
+	Tuples     []TupleCitation
+	Expr       citeexpr.Expr
+	Record     format.Record
+	Stats      Stats
+}
+
+// Cite constructs the citation for q's answer over the generator's
+// database (Definitions 2.1 and 2.2 plus the Agg step). The query must
+// range over base relations.
+func (g *Generator) Cite(q *cq.Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Query: q}
+
+	rres, err := rewrite.Rewrite(q, g.reg.ViewQueries(), rewrite.Options{
+		Method:        g.Method,
+		MaxRewritings: g.MaxRewritings,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rewritings := rres.Rewritings
+	res.Stats.CandidatesExamined = rres.CandidatesExamined
+	if len(rewritings) == 0 && g.AllowPartial {
+		pres, err := rewrite.Rewrite(q, g.reg.ViewQueries(), rewrite.Options{
+			Method:        g.Method,
+			MaxRewritings: g.MaxRewritings,
+			AllowPartial:  true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.CandidatesExamined += pres.CandidatesExamined
+		for _, rw := range pres.Rewritings {
+			if len(rw.ViewAtoms) > 0 {
+				rewritings = append(rewritings, rw)
+			}
+		}
+	}
+	if len(rewritings) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoRewriting, q.Name)
+	}
+	res.Rewritings = rewritings
+	res.Stats.RewritingsFound = len(rewritings)
+
+	evalSet := rewritings
+	if g.CostPruned && g.pol.AltR != policy.AllBranches {
+		best, err := g.selectByEstimate(rewritings)
+		if err != nil {
+			return nil, err
+		}
+		evalSet = []*rewrite.Rewriting{best}
+		res.Stats.Pruned = true
+	}
+
+	// Evaluate each rewriting with citation-expression annotations.
+	type branch struct {
+		exprs map[string]citeexpr.Expr // tuple key -> Σ_B Π_i CV_i(B_i)
+	}
+	branches := make([]branch, 0, len(evalSet))
+	tupleByKey := make(map[string]storage.Tuple)
+	var keyOrder []string
+	for _, rw := range evalSet {
+		inst, err := g.instanceFor(rw)
+		if err != nil {
+			return nil, err
+		}
+		annotated, err := eval.EvalAnnotated[citeexpr.Expr](inst, rw.AsQuery("rw"), citeexpr.Semiring{}, g.annotator())
+		if err != nil {
+			return nil, err
+		}
+		b := branch{exprs: make(map[string]citeexpr.Expr, len(annotated))}
+		for _, a := range annotated {
+			k := a.Tuple.Key()
+			b.exprs[k] = a.Annotation
+			if _, seen := tupleByKey[k]; !seen {
+				tupleByKey[k] = a.Tuple
+				keyOrder = append(keyOrder, k)
+			}
+		}
+		branches = append(branches, b)
+	}
+	res.Stats.RewritingsEvaluated = len(evalSet)
+	sort.Strings(keyOrder)
+
+	// Choose the +R branch globally, the way the paper's closing example
+	// does: the size of a rewriting's citation is the number of distinct
+	// citation atoms it contributes across the whole answer ("the
+	// estimated size of the citation using Q1 would therefore be
+	// proportional to the size of Family"), so one rewriting is selected
+	// for the entire result. Per-tuple expressions still record every
+	// branch; only the policy evaluation commits to the chosen one.
+	chosen := -1
+	if g.pol.AltR != policy.AllBranches && len(branches) > 1 {
+		sizes := make([]int, len(branches))
+		for i, b := range branches {
+			atoms := make(map[string]bool)
+			for _, e := range b.exprs {
+				for _, a := range citeexpr.Atoms(e) {
+					atoms[a.Key()] = true
+				}
+			}
+			sizes[i] = len(atoms)
+		}
+		chosen = 0
+		for i := 1; i < len(sizes); i++ {
+			if g.pol.AltR == policy.MaxCoverage {
+				if sizes[i] > sizes[chosen] {
+					chosen = i
+				}
+			} else if sizes[i] < sizes[chosen] {
+				chosen = i
+			}
+		}
+	}
+
+	resolver := g.resolver(&res.Stats)
+	var aggChildren []citeexpr.Expr
+	for _, k := range keyOrder {
+		var children []citeexpr.Expr
+		for _, b := range branches {
+			if e, ok := b.exprs[k]; ok {
+				children = append(children, e)
+			}
+		}
+		full := citeexpr.AltR{Children: children}
+		var selected citeexpr.Expr
+		if chosen >= 0 {
+			if e, ok := branches[chosen].exprs[k]; ok {
+				selected = e
+			} else {
+				// The chosen branch somehow misses this tuple (cannot
+				// happen for certified rewritings); fall back to the
+				// per-tuple selection.
+				selected = g.pol.SelectBranch(children)
+			}
+		} else {
+			selected = g.pol.SelectBranch(children)
+		}
+		rec, err := g.pol.Eval(selected, resolver)
+		if err != nil {
+			return nil, err
+		}
+		res.Tuples = append(res.Tuples, TupleCitation{
+			Tuple:    tupleByKey[k],
+			Expr:     full,
+			Selected: selected,
+			Record:   rec,
+		})
+		aggChildren = append(aggChildren, selected)
+	}
+	res.Expr = citeexpr.Agg{Children: aggChildren}
+	rec, err := g.pol.Eval(res.Expr, resolver)
+	if err != nil {
+		return nil, err
+	}
+	res.Record = rec
+	return res, nil
+}
+
+// CiteTuple returns the citation of a single answer tuple of q, or an
+// error if the tuple is not in the answer.
+func (g *Generator) CiteTuple(q *cq.Query, t storage.Tuple) (*TupleCitation, error) {
+	res, err := g.Cite(q)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Tuples {
+		if res.Tuples[i].Tuple.Equal(t) {
+			return &res.Tuples[i], nil
+		}
+	}
+	return nil, fmt.Errorf("citation: tuple %s is not in the answer of %s", t, q.Name)
+}
+
+// instanceFor materializes (with caching) the view instances a rewriting
+// references and combines them with the base database for residual atoms.
+func (g *Generator) instanceFor(rw *rewrite.Rewriting) (eval.Instance, error) {
+	rels := make(eval.Relations)
+	for _, va := range rw.ViewAtoms {
+		if _, done := rels[va.ViewName]; done {
+			continue
+		}
+		mat, err := g.materialize(va.ViewName)
+		if err != nil {
+			return nil, err
+		}
+		rels[va.ViewName] = mat
+	}
+	return layeredInstance{views: rels, base: g.db}, nil
+}
+
+// layeredInstance resolves view predicates from materialized instances and
+// everything else from the base database.
+type layeredInstance struct {
+	views eval.Relations
+	base  *storage.Database
+}
+
+func (l layeredInstance) Relation(name string) *storage.Relation {
+	if r, ok := l.views[name]; ok {
+		return r
+	}
+	return l.base.Relation(name)
+}
+
+// materialize evaluates the named view over the database, caching the
+// result and building indexes on every column.
+func (g *Generator) materialize(viewName string) (*storage.Relation, error) {
+	if r, ok := g.viewCache[viewName]; ok {
+		return r, nil
+	}
+	v := g.reg.View(viewName)
+	if v == nil {
+		return nil, fmt.Errorf("citation: unknown view %s", viewName)
+	}
+	rs, err := v.HeadSchema(g.reg.Schema())
+	if err != nil {
+		return nil, err
+	}
+	inst := storage.NewRelation(rs)
+	if err := eval.Materialize(g.db, v.Query, inst); err != nil {
+		return nil, err
+	}
+	for col := 0; col < rs.Arity(); col++ {
+		inst.BuildIndex(col)
+	}
+	pos, err := v.ParamPositions()
+	if err != nil {
+		return nil, err
+	}
+	g.paramPos[viewName] = pos
+	g.viewCache[viewName] = inst
+	return inst, nil
+}
+
+// annotator returns the base-annotation function for annotated evaluation:
+// a view tuple is annotated with the citation atom CV(params) built from
+// the tuple's parameter columns; base-relation tuples (partial rewritings)
+// are neutral.
+func (g *Generator) annotator() func(pred string, t storage.Tuple) citeexpr.Expr {
+	return func(pred string, t storage.Tuple) citeexpr.Expr {
+		v := g.reg.View(pred)
+		if v == nil {
+			return citeexpr.Joint{} // base relation: neutral annotation
+		}
+		pos := g.paramPos[pred]
+		params := make([]value.Value, len(pos))
+		for i, p := range pos {
+			params[i] = t[p]
+		}
+		return citeexpr.Atom{View: pred, Params: params}
+	}
+}
+
+// resolver returns a caching policy.Resolver that evaluates a view's
+// citation queries with the atom's parameter values and applies the view's
+// citation function.
+func (g *Generator) resolver(stats *Stats) policy.Resolver {
+	return func(a citeexpr.Atom) (format.Record, error) {
+		key := a.Key()
+		if rec, ok := g.atomCache[key]; ok {
+			return rec, nil
+		}
+		rec, err := g.ResolveAtom(a)
+		if err != nil {
+			return nil, err
+		}
+		g.atomCache[key] = rec
+		if stats != nil {
+			stats.AtomsResolved++
+		}
+		return rec, nil
+	}
+}
+
+// Materialized returns the cached materialized instance of the named view,
+// materializing it first if needed. The returned relation is the live
+// cache entry: the evolution package updates it in place when maintaining
+// views incrementally.
+func (g *Generator) Materialized(name string) (*storage.Relation, error) {
+	return g.materialize(name)
+}
+
+// IsMaterialized reports whether the view is currently in the cache.
+func (g *Generator) IsMaterialized(name string) bool {
+	_, ok := g.viewCache[name]
+	return ok
+}
+
+// InvalidateAtoms drops cached citation records for one view (all
+// parameter instantiations). The evolution package calls this when a delta
+// touches a relation referenced by the view's citation queries.
+func (g *Generator) InvalidateAtoms(view string) {
+	prefix := "C" + view
+	for k := range g.atomCache {
+		if strings.HasPrefix(k, prefix) &&
+			(len(k) == len(prefix) || k[len(prefix)] == '(') {
+			delete(g.atomCache, k)
+		}
+	}
+}
+
+// ResolveAtomCached is ResolveAtom through the generator's record cache;
+// repeated resolutions of the same atom are free until the cache is
+// invalidated.
+func (g *Generator) ResolveAtomCached(a citeexpr.Atom) (format.Record, error) {
+	return g.resolver(nil)(a)
+}
+
+// ResolveAtom evaluates the citation queries of the atom's view with the
+// atom's parameter values bound, and applies the citation function.
+func (g *Generator) ResolveAtom(a citeexpr.Atom) (format.Record, error) {
+	v := g.reg.View(a.View)
+	if v == nil {
+		return nil, fmt.Errorf("citation: unknown view %s in citation atom", a.View)
+	}
+	if len(a.Params) != len(v.Query.Params) {
+		return nil, fmt.Errorf("citation: atom %s has %d parameters, view declares %d",
+			a, len(a.Params), len(v.Query.Params))
+	}
+	sub := make(map[string]cq.Term, len(a.Params))
+	bindings := make([]ParamBinding, len(a.Params))
+	for i, p := range v.Query.Params {
+		sub[p] = cq.Const(a.Params[i])
+		bindings[i] = ParamBinding{Name: p, Value: a.Params[i].String()}
+	}
+	rows := make(map[string][]storage.Tuple, len(v.Citations))
+	for _, c := range v.Citations {
+		inst := c.Query.Substitute(sub)
+		inst.Params = nil
+		tuples, err := eval.Eval(g.db, inst)
+		if err != nil {
+			return nil, fmt.Errorf("citation: evaluating citation query %s: %w", c.Query.Name, err)
+		}
+		rows[c.Query.Name] = tuples
+	}
+	fn := v.Fn
+	if fn == nil {
+		fn = DefaultFunction
+	}
+	return fn(v, bindings, rows), nil
+}

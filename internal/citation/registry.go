@@ -1,0 +1,142 @@
+package citation
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/rewrite"
+	"repro/internal/schema"
+)
+
+// Registry holds the citation views declared by the database owner for one
+// schema. Views are addressed by their predicate name.
+type Registry struct {
+	schema *schema.Schema
+	views  []*View
+	byName map[string]*View
+}
+
+// NewRegistry creates an empty registry over the schema.
+func NewRegistry(s *schema.Schema) *Registry {
+	return &Registry{schema: s, byName: make(map[string]*View)}
+}
+
+// Schema returns the registry's database schema.
+func (r *Registry) Schema() *schema.Schema { return r.schema }
+
+// Add validates and registers a view. View names must be unique and
+// distinct from base relation names.
+func (r *Registry) Add(v *View) error {
+	if err := v.Validate(r.schema); err != nil {
+		return err
+	}
+	name := v.Name()
+	if _, dup := r.byName[name]; dup {
+		return fmt.Errorf("citation: view %s already registered", name)
+	}
+	if r.schema.Relation(name) != nil {
+		return fmt.Errorf("citation: view %s collides with a base relation", name)
+	}
+	r.views = append(r.views, v)
+	r.byName[name] = v
+	return nil
+}
+
+// MustAdd is Add but panics on error; for statically known view sets.
+func (r *Registry) MustAdd(v *View) {
+	if err := r.Add(v); err != nil {
+		panic(err)
+	}
+}
+
+// View returns the named view, or nil.
+func (r *Registry) View(name string) *View { return r.byName[name] }
+
+// Views returns the registered views in registration order.
+func (r *Registry) Views() []*View {
+	out := make([]*View, len(r.views))
+	copy(out, r.views)
+	return out
+}
+
+// Len returns the number of registered views.
+func (r *Registry) Len() int { return len(r.views) }
+
+// ViewQueries returns the view queries in registration order, as consumed
+// by the rewriting engine.
+func (r *Registry) ViewQueries() []*cq.Query {
+	out := make([]*cq.Query, 0, len(r.views))
+	for _, v := range r.views {
+		out = append(out, v.Query)
+	}
+	return out
+}
+
+// Covers reports whether the registry's views admit at least one complete
+// equivalent rewriting of q — the schema-level "does the view set cover
+// this query" test of the paper's §3 ("best views" open problem).
+func (r *Registry) Covers(q *cq.Query, method rewrite.Method) (bool, error) {
+	res, err := rewrite.Rewrite(q, r.ViewQueries(), rewrite.Options{
+		Method:        method,
+		MaxRewritings: 1,
+	})
+	if err != nil {
+		return false, err
+	}
+	return len(res.Rewritings) > 0, nil
+}
+
+// CoverageReport summarizes how a workload of queries is covered by the
+// registered views.
+type CoverageReport struct {
+	Total     int // queries examined
+	Covered   int // queries with a complete rewriting
+	Partial   int // queries with only partial rewritings
+	Uncovered int // queries with no rewriting at all
+}
+
+// CoverageRatio returns Covered/Total, or 0 for an empty workload.
+func (c CoverageReport) CoverageRatio() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Covered) / float64(c.Total)
+}
+
+// AnalyzeCoverage classifies each workload query as covered, partially
+// covered, or uncovered by the registry's views.
+func (r *Registry) AnalyzeCoverage(workload []*cq.Query, method rewrite.Method) (CoverageReport, error) {
+	rep := CoverageReport{Total: len(workload)}
+	views := r.ViewQueries()
+	for _, q := range workload {
+		full, err := rewrite.Rewrite(q, views, rewrite.Options{Method: method, MaxRewritings: 1})
+		if err != nil {
+			return rep, fmt.Errorf("citation: coverage of %s: %w", q.Name, err)
+		}
+		if len(full.Rewritings) > 0 {
+			rep.Covered++
+			continue
+		}
+		part, err := rewrite.Rewrite(q, views, rewrite.Options{
+			Method:        method,
+			MaxRewritings: 1,
+			AllowPartial:  true,
+		})
+		if err != nil {
+			return rep, fmt.Errorf("citation: partial coverage of %s: %w", q.Name, err)
+		}
+		usable := false
+		for _, rw := range part.Rewritings {
+			if len(rw.ViewAtoms) > 0 {
+				usable = true
+				break
+			}
+		}
+		if usable {
+			rep.Partial++
+		} else {
+			rep.Uncovered++
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,205 @@
+// Package citation implements the paper's data-citation model end to end:
+// citation views (a view query plus citation queries and a citation
+// function, per §2), a registry of views declared by the database owner,
+// and a Generator that constructs the citation for an arbitrary conjunctive
+// query by rewriting it over the views and propagating citation
+// annotations through the rewritings (Definitions 2.1 and 2.2).
+package citation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/format"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// CitationQuery pulls citation snippets from the database for a view. Its
+// λ-parameters must be a subset of the view's parameters, with identical
+// names (paper §2: parameters "must … be consistent across the view and
+// associated citation queries"). Fields maps each head position to the
+// citation field it populates; an empty string skips the position (useful
+// for parameter echo columns).
+type CitationQuery struct {
+	Query  *cq.Query
+	Fields []string
+}
+
+// Validate checks the citation query against its owning view.
+func (c *CitationQuery) Validate(view *cq.Query) error {
+	if c.Query == nil {
+		return fmt.Errorf("citation: view %s: nil citation query", view.Name)
+	}
+	if err := c.Query.Validate(); err != nil {
+		return err
+	}
+	if len(c.Fields) != len(c.Query.Head) {
+		return fmt.Errorf("citation: citation query %s: %d fields for %d head positions",
+			c.Query.Name, len(c.Fields), len(c.Query.Head))
+	}
+	viewParams := make(map[string]bool, len(view.Params))
+	for _, p := range view.Params {
+		viewParams[p] = true
+	}
+	for _, p := range c.Query.Params {
+		if !viewParams[p] {
+			return fmt.Errorf("citation: citation query %s: parameter %s is not a parameter of view %s",
+				c.Query.Name, p, view.Name)
+		}
+	}
+	return nil
+}
+
+// Function turns the rows returned by a view's citation queries into a
+// citation record. rows maps citation-query name to its result tuples.
+type Function func(v *View, params []ParamBinding, rows map[string][]storage.Tuple) format.Record
+
+// ParamBinding pairs a λ-parameter name with its instantiated value,
+// rendered as a string for inclusion in records.
+type ParamBinding struct {
+	Name  string
+	Value string
+}
+
+// View is a citation view: a (possibly parameterized) view query, the
+// citation queries that pull snippets for it, an optional custom citation
+// function, and static metadata merged into every citation it produces.
+type View struct {
+	Query     *cq.Query
+	Citations []*CitationQuery
+	// Fn overrides DefaultFunction when non-nil.
+	Fn Function
+	// Static is merged into every citation record the view produces
+	// (database title, URL, version, …).
+	Static format.Record
+}
+
+// Name returns the view's predicate name.
+func (v *View) Name() string { return v.Query.Name }
+
+// Validate checks view well-formedness against the database schema.
+func (v *View) Validate(s *schema.Schema) error {
+	if v.Query == nil {
+		return fmt.Errorf("citation: view with nil query")
+	}
+	if err := v.Query.Validate(); err != nil {
+		return err
+	}
+	for _, a := range v.Query.Body {
+		rel := s.Relation(a.Predicate)
+		if rel == nil {
+			return fmt.Errorf("citation: view %s: unknown relation %s", v.Name(), a.Predicate)
+		}
+		if rel.Arity() != len(a.Terms) {
+			return fmt.Errorf("citation: view %s: atom %s has arity %d, relation has %d",
+				v.Name(), a.Predicate, len(a.Terms), rel.Arity())
+		}
+	}
+	for _, c := range v.Citations {
+		if err := c.Validate(v.Query); err != nil {
+			return err
+		}
+		for _, a := range c.Query.Body {
+			rel := s.Relation(a.Predicate)
+			if rel == nil {
+				return fmt.Errorf("citation: citation query %s: unknown relation %s", c.Query.Name, a.Predicate)
+			}
+			if rel.Arity() != len(a.Terms) {
+				return fmt.Errorf("citation: citation query %s: atom %s has arity %d, relation has %d",
+					c.Query.Name, a.Predicate, len(a.Terms), rel.Arity())
+			}
+		}
+	}
+	return nil
+}
+
+// ParamPositions returns, for each λ-parameter of the view in declaration
+// order, the head position holding it. Validated views always resolve.
+func (v *View) ParamPositions() ([]int, error) {
+	out := make([]int, 0, len(v.Query.Params))
+	for _, p := range v.Query.Params {
+		pos := -1
+		for i, h := range v.Query.Head {
+			if h.IsVar && h.Name == p {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("citation: view %s: parameter %s not in head", v.Name(), p)
+		}
+		out = append(out, pos)
+	}
+	return out, nil
+}
+
+// HeadSchema derives the relation schema of the view's output from the
+// base schema: each head variable inherits the kind of a base column it
+// occupies in the body. Constant head terms are rejected upstream by the
+// rewriting engine; here they would inherit the constant's kind.
+func (v *View) HeadSchema(s *schema.Schema) (*schema.Relation, error) {
+	attrs := make([]schema.Attribute, len(v.Query.Head))
+	for i, h := range v.Query.Head {
+		if !h.IsVar {
+			attrs[i] = schema.Attribute{Name: fmt.Sprintf("c%d", i), Kind: h.Const.Kind()}
+			continue
+		}
+		kind, found := kindOfVar(h.Name, v.Query, s)
+		if !found {
+			return nil, fmt.Errorf("citation: view %s: cannot infer kind of head variable %s", v.Name(), h.Name)
+		}
+		attrs[i] = schema.Attribute{Name: h.Name, Kind: kind}
+	}
+	return schema.NewRelation(v.Name(), attrs)
+}
+
+func kindOfVar(name string, q *cq.Query, s *schema.Schema) (kind value.Kind, found bool) {
+	for _, a := range q.Body {
+		rel := s.Relation(a.Predicate)
+		if rel == nil {
+			continue
+		}
+		for j, t := range a.Terms {
+			if t.IsVar && t.Name == name && j < rel.Arity() {
+				return rel.Attributes[j].Kind, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// DefaultFunction builds a record by mapping citation-query head positions
+// to fields per CitationQuery.Fields, merging the view's static metadata
+// and recording parameter bindings under their declared field names when a
+// Fields entry names the parameter's position.
+func DefaultFunction(v *View, params []ParamBinding, rows map[string][]storage.Tuple) format.Record {
+	rec := format.Record{}
+	if v.Static != nil {
+		rec = rec.Merge(v.Static)
+	}
+	// Deterministic citation-query order.
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fieldsByName := make(map[string][]string, len(v.Citations))
+	for _, c := range v.Citations {
+		fieldsByName[c.Query.Name] = c.Fields
+	}
+	for _, n := range names {
+		fields := fieldsByName[n]
+		for _, t := range rows[n] {
+			for i, val := range t {
+				if i < len(fields) && fields[i] != "" {
+					rec.Add(fields[i], val.String())
+				}
+			}
+		}
+	}
+	_ = params
+	return rec
+}

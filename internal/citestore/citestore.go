@@ -1,0 +1,166 @@
+// Package citestore implements the paper's §3 "size of citations"
+// proposal: since parameterized views can make a citation "proportional to
+// the size of the query result", the citation object returned inline can
+// instead be "an encoding of or reference to an extended citation which is
+// a searchable object".
+//
+// The Store is content-addressed: depositing an extended citation (the
+// full formal expression plus the resolved record) returns a short
+// reference (truncated SHA-256 of the canonical expression and record);
+// the reference can be embedded in a bibliography-sized citation and later
+// resolved — and searched by field value — against the store.
+package citestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/citeexpr"
+	"repro/internal/format"
+)
+
+// RefLen is the length (hex characters) of a compact reference. 16 hex
+// chars = 64 bits, ample for any realistic citation corpus.
+const RefLen = 16
+
+// Extended is a stored extended citation: the query it cites, the full
+// formal expression, and the resolved record.
+type Extended struct {
+	QueryText string
+	Expr      citeexpr.Expr
+	Record    format.Record
+}
+
+// Ref computes the content address of an extended citation.
+func Ref(e Extended) string {
+	h := sha256.New()
+	h.Write([]byte(e.QueryText))
+	h.Write([]byte{0})
+	if e.Expr != nil {
+		h.Write([]byte(e.Expr.Canonical()))
+	}
+	h.Write([]byte{0})
+	fields := e.Record.Fields()
+	for _, f := range fields {
+		vals := append([]string(nil), e.Record[f]...)
+		sort.Strings(vals)
+		h.Write([]byte(f))
+		h.Write([]byte{1})
+		for _, v := range vals {
+			h.Write([]byte(v))
+			h.Write([]byte{2})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:RefLen]
+}
+
+// Store is a content-addressed, searchable store of extended citations.
+// It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	byRef   map[string]Extended
+	byField map[string]map[string][]string // field -> value -> refs
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{
+		byRef:   make(map[string]Extended),
+		byField: make(map[string]map[string][]string),
+	}
+}
+
+// Put deposits an extended citation and returns its compact reference.
+// Depositing identical content is idempotent and returns the same ref.
+func (s *Store) Put(e Extended) string {
+	ref := Ref(e)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byRef[ref]; dup {
+		return ref
+	}
+	s.byRef[ref] = e
+	for f, vals := range e.Record {
+		idx := s.byField[f]
+		if idx == nil {
+			idx = make(map[string][]string)
+			s.byField[f] = idx
+		}
+		for _, v := range vals {
+			idx[v] = append(idx[v], ref)
+		}
+	}
+	return ref
+}
+
+// Get resolves a reference back to the extended citation.
+func (s *Store) Get(ref string) (Extended, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.byRef[ref]
+	return e, ok
+}
+
+// Search returns the references of citations whose record contains the
+// exact (field, value) pair, in deterministic order.
+func (s *Store) Search(field, value string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	refs := append([]string(nil), s.byField[field][value]...)
+	sort.Strings(refs)
+	return refs
+}
+
+// Len reports the number of stored citations.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byRef)
+}
+
+// CompactRecord builds the bibliography-sized citation for a stored
+// extended citation: the leading fields of the record (database/title and
+// up to three authors) plus the reference, everything else delegated to
+// the store.
+func CompactRecord(e Extended, ref string) format.Record {
+	out := format.Record{}
+	// Keep four authors at most: format.Text renders lists longer than
+	// three as "A, B, C et al.", so a fourth entry preserves the et-al
+	// marker while the full list stays in the store.
+	for i, a := range e.Record[format.FieldAuthor] {
+		if i == 4 {
+			break
+		}
+		out.Add(format.FieldAuthor, a)
+	}
+	for _, f := range []string{format.FieldDatabase, format.FieldTitle, format.FieldVersion} {
+		for _, v := range e.Record[f] {
+			out.Add(f, v)
+		}
+	}
+	out.Add(format.FieldNote, "extended citation: "+ref)
+	return out
+}
+
+// FormatCompact renders the compact citation as one line, e.g. for a
+// bibliography entry.
+func FormatCompact(e Extended, ref string) string {
+	var b strings.Builder
+	b.WriteString(format.Text(CompactRecord(e, ref)))
+	return b.String()
+}
+
+// Stats summarizes the store for diagnostics.
+func (s *Store) Stats() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fields := 0
+	for _, idx := range s.byField {
+		fields += len(idx)
+	}
+	return fmt.Sprintf("%d citation(s), %d indexed field value(s)", len(s.byRef), fields)
+}

@@ -1,0 +1,150 @@
+package citestore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/citeexpr"
+	"repro/internal/format"
+	"repro/internal/value"
+)
+
+func sampleExtended() Extended {
+	return Extended{
+		QueryText: "Q(FName) :- Family(FID, FName, Desc)",
+		Expr: citeexpr.Joint{Children: []citeexpr.Expr{
+			citeexpr.NewAtom("V1", value.Int(11)),
+			citeexpr.NewAtom("V3"),
+		}},
+		Record: format.NewRecord(
+			format.FieldAuthor, "Alice", format.FieldAuthor, "Bob",
+			format.FieldAuthor, "Carol", format.FieldAuthor, "Dan",
+			format.FieldDatabase, "GtoPdb",
+		),
+	}
+}
+
+func TestRefDeterministicAndContentSensitive(t *testing.T) {
+	a := sampleExtended()
+	b := sampleExtended()
+	if Ref(a) != Ref(b) {
+		t.Error("identical content, different refs")
+	}
+	if len(Ref(a)) != RefLen {
+		t.Errorf("ref length %d", len(Ref(a)))
+	}
+	c := sampleExtended()
+	c.Record.Add(format.FieldAuthor, "Eve")
+	if Ref(a) == Ref(c) {
+		t.Error("different content, same ref")
+	}
+	d := sampleExtended()
+	d.QueryText = "Q2(X) :- R(X)"
+	if Ref(a) == Ref(d) {
+		t.Error("query text not part of the address")
+	}
+}
+
+func TestRefInsensitiveToValueOrder(t *testing.T) {
+	a := sampleExtended()
+	b := sampleExtended()
+	b.Record[format.FieldAuthor] = []string{"Dan", "Carol", "Bob", "Alice"}
+	if Ref(a) != Ref(b) {
+		t.Error("value order changed the ref")
+	}
+}
+
+func TestPutGetIdempotent(t *testing.T) {
+	s := NewStore()
+	e := sampleExtended()
+	ref1 := s.Put(e)
+	ref2 := s.Put(e)
+	if ref1 != ref2 {
+		t.Error("idempotent put returned different refs")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len %d, want 1", s.Len())
+	}
+	got, ok := s.Get(ref1)
+	if !ok {
+		t.Fatal("stored citation not found")
+	}
+	if !got.Record.Equal(e.Record) {
+		t.Error("round-tripped record differs")
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Error("bogus ref resolved")
+	}
+}
+
+func TestSearch(t *testing.T) {
+	s := NewStore()
+	refA := s.Put(sampleExtended())
+	other := sampleExtended()
+	other.QueryText = "Q2(T) :- FamilyIntro(F, T)"
+	other.Record = format.NewRecord(format.FieldDatabase, "GtoPdb", format.FieldAuthor, "Zoe")
+	refB := s.Put(other)
+
+	both := s.Search(format.FieldDatabase, "GtoPdb")
+	if len(both) != 2 {
+		t.Fatalf("search found %d, want 2", len(both))
+	}
+	onlyZoe := s.Search(format.FieldAuthor, "Zoe")
+	if len(onlyZoe) != 1 || onlyZoe[0] != refB {
+		t.Errorf("Zoe search %v", onlyZoe)
+	}
+	onlyAlice := s.Search(format.FieldAuthor, "Alice")
+	if len(onlyAlice) != 1 || onlyAlice[0] != refA {
+		t.Errorf("Alice search %v", onlyAlice)
+	}
+	if got := s.Search(format.FieldAuthor, "Nobody"); len(got) != 0 {
+		t.Errorf("absent search %v", got)
+	}
+}
+
+func TestCompactRecordBoundedSize(t *testing.T) {
+	e := sampleExtended()
+	ref := Ref(e)
+	compact := CompactRecord(e, ref)
+	// At most 4 authors survive (the 4th keeps the et-al rendering),
+	// plus database plus the reference note.
+	if got := len(compact[format.FieldAuthor]); got != 4 {
+		t.Errorf("compact authors %d, want 4", got)
+	}
+	found := false
+	for _, n := range compact[format.FieldNote] {
+		if strings.Contains(n, ref) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("compact record missing the reference")
+	}
+	// The compact record is much smaller than a big extended one.
+	big := sampleExtended()
+	for i := 0; i < 100; i++ {
+		big.Record.Add(format.FieldIdentifier, strings.Repeat("x", 5)+string(rune('a'+i%26)))
+	}
+	if CompactRecord(big, Ref(big)).Size() >= big.Record.Size() {
+		t.Error("compact record not smaller than extended record")
+	}
+}
+
+func TestFormatCompact(t *testing.T) {
+	e := sampleExtended()
+	out := FormatCompact(e, Ref(e))
+	if !strings.Contains(out, "et al.") {
+		t.Errorf("compact text should abbreviate: %q", out)
+	}
+	if !strings.Contains(out, "extended citation: ") {
+		t.Errorf("compact text missing reference: %q", out)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStore()
+	s.Put(sampleExtended())
+	if got := s.Stats(); !strings.Contains(got, "1 citation(s)") {
+		t.Errorf("Stats %q", got)
+	}
+}

@@ -1,0 +1,164 @@
+// Package contain implements conjunctive-query containment, equivalence,
+// and minimization via containment mappings (Chandra–Merlin). These are the
+// theoretical workhorses behind the rewriting engine: candidate rewritings
+// produced by MiniCon are certified equivalent to the original query by the
+// tests in this package.
+//
+// A containment mapping from Q2 to Q1 witnesses Q1 ⊑ Q2 (every database's
+// Q1-answers are Q2-answers): it maps each variable of Q2 to a term of Q1
+// such that the head of Q2 maps onto the head of Q1 and every body atom of
+// Q2 maps onto some body atom of Q1. Constants map to themselves.
+package contain
+
+import (
+	"sort"
+
+	"repro/internal/cq"
+)
+
+// mapping is a partial assignment from Q2 variable names to Q1 terms.
+type mapping map[string]cq.Term
+
+// unifyTerm extends m so that src (a term of Q2) maps to dst (a term of
+// Q1). Constants must match exactly. It reports success and the set of
+// newly bound variables for backtracking.
+func unifyTerm(m mapping, src, dst cq.Term, bound *[]string) bool {
+	if !src.IsVar {
+		// A constant in Q2 must land on the identical constant in Q1.
+		return !dst.IsVar && src.Const == dst.Const
+	}
+	if cur, ok := m[src.Name]; ok {
+		return cur.Equal(dst)
+	}
+	m[src.Name] = dst
+	*bound = append(*bound, src.Name)
+	return true
+}
+
+// Contained reports whether q1 ⊑ q2, i.e. whether a containment mapping
+// from q2 to q1 exists. Both queries are treated as unparameterized; per
+// the paper, λ-parameters are ignored during rewriting-related reasoning.
+func Contained(q1, q2 *cq.Query) bool {
+	if len(q1.Head) != len(q2.Head) {
+		return false
+	}
+	m := make(mapping)
+	var bound []string
+	// The head of q2 must map exactly onto the head of q1.
+	for i := range q2.Head {
+		if !unifyTerm(m, q2.Head[i], q1.Head[i], &bound) {
+			return false
+		}
+	}
+	// Precompute, per q2 atom, the candidate q1 atoms (same predicate and
+	// arity). Order atoms by fewest candidates first to cut the search.
+	type cand struct {
+		atom    cq.Atom
+		targets []cq.Atom
+	}
+	cands := make([]cand, 0, len(q2.Body))
+	for _, a2 := range q2.Body {
+		var ts []cq.Atom
+		for _, a1 := range q1.Body {
+			if a1.Predicate == a2.Predicate && len(a1.Terms) == len(a2.Terms) {
+				ts = append(ts, a1)
+			}
+		}
+		if len(ts) == 0 {
+			return false
+		}
+		cands = append(cands, cand{atom: a2, targets: ts})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return len(cands[i].targets) < len(cands[j].targets)
+	})
+	var search func(i int) bool
+	search = func(i int) bool {
+		if i == len(cands) {
+			return true
+		}
+		c := cands[i]
+		for _, target := range c.targets {
+			var newly []string
+			ok := true
+			for k := range c.atom.Terms {
+				if !unifyTerm(m, c.atom.Terms[k], target.Terms[k], &newly) {
+					ok = false
+					break
+				}
+			}
+			if ok && search(i+1) {
+				return true
+			}
+			for _, v := range newly {
+				delete(m, v)
+			}
+		}
+		return false
+	}
+	return search(0)
+}
+
+// Equivalent reports whether q1 and q2 are equivalent conjunctive queries
+// (mutually contained).
+func Equivalent(q1, q2 *cq.Query) bool {
+	return Contained(q1, q2) && Contained(q2, q1)
+}
+
+// Minimize computes the core of q: a minimal equivalent subquery obtained
+// by repeatedly dropping redundant body atoms. The input is not modified.
+// For conjunctive queries the greedy procedure is correct: an atom can be
+// dropped iff the reduced query is still equivalent to the original, and
+// the result is unique up to isomorphism.
+func Minimize(q *cq.Query) *cq.Query {
+	cur := q.Clone()
+	for {
+		removed := false
+		for i := 0; i < len(cur.Body); i++ {
+			reduced := cur.Clone()
+			reduced.Body = append(reduced.Body[:i], reduced.Body[i+1:]...)
+			if !safeHeads(reduced) {
+				continue
+			}
+			if Equivalent(reduced, q) {
+				cur = reduced
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// safeHeads reports whether every head variable of q still appears in its
+// body (needed after atom removal; an unsafe query is not a valid CQ).
+func safeHeads(q *cq.Query) bool {
+	if len(q.Body) == 0 {
+		for _, t := range q.Head {
+			if t.IsVar {
+				return false
+			}
+		}
+		return true
+	}
+	body := make(map[string]bool)
+	for _, v := range q.BodyVars() {
+		body[v] = true
+	}
+	for _, t := range q.Head {
+		if t.IsVar && !body[t.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// Isomorphic reports whether q1 and q2 are identical up to variable
+// renaming: equivalent with equal body sizes after minimization is the
+// cheap route, but for already-minimal queries a bidirectional containment
+// check with size equality suffices and is what we use.
+func Isomorphic(q1, q2 *cq.Query) bool {
+	return len(q1.Body) == len(q2.Body) && Equivalent(q1, q2)
+}

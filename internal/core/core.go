@@ -1,0 +1,213 @@
+// Package core wires the data-citation subsystems — versioned storage,
+// citation views, rewriting-based citation generation, policies, fixity
+// pinning and formatting — into a single System, the deployment unit a
+// database owner configures (paper §3, "defining citations": the owner
+// specifies views, citation queries and policies "and the system should
+// take care of the annotation tracking").
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/citation"
+	"repro/internal/citestore"
+	"repro/internal/cq"
+	"repro/internal/fixity"
+	"repro/internal/format"
+	"repro/internal/policy"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// System is a citation-enabled database: a versioned store plus a view
+// registry, a combination policy, and a citation generator bound to the
+// store's head.
+type System struct {
+	store *fixity.Store
+	reg   *citation.Registry
+	gen   *citation.Generator
+}
+
+// NewSystem creates a citation-enabled database over the schema.
+func NewSystem(s *schema.Schema) *System {
+	store := fixity.NewStore(s)
+	reg := citation.NewRegistry(s)
+	return &System{
+		store: store,
+		reg:   reg,
+		gen:   citation.NewGenerator(reg, store.Head()),
+	}
+}
+
+// NewSystemFromDatabase wraps an already-loaded database (e.g. from the
+// synthetic generators). The database becomes the store's head via bulk
+// copy; the original is not retained.
+func NewSystemFromDatabase(db *storage.Database) *System {
+	sys := NewSystem(db.Schema())
+	head := sys.store.Head()
+	for _, name := range db.Schema().Names() {
+		db.Relation(name).Scan(func(t storage.Tuple) bool {
+			if _, err := head.Relation(name).Insert(t); err != nil {
+				panic(fmt.Sprintf("core: copying %s: %v", name, err))
+			}
+			return true
+		})
+	}
+	head.BuildIndexes()
+	return sys
+}
+
+// Store returns the versioned store.
+func (s *System) Store() *fixity.Store { return s.store }
+
+// Registry returns the citation-view registry.
+func (s *System) Registry() *citation.Registry { return s.reg }
+
+// Generator returns the citation generator bound to the store head.
+func (s *System) Generator() *citation.Generator { return s.gen }
+
+// Database returns the mutable head database.
+func (s *System) Database() *storage.Database { return s.store.Head() }
+
+// SetPolicy replaces the combination policy.
+func (s *System) SetPolicy(p policy.Policy) { s.gen.SetPolicy(p) }
+
+// DefineView parses and registers a citation view in one step: viewSrc is
+// the view query in datalog syntax; each CitationSpec pairs a citation
+// query with its field mapping.
+func (s *System) DefineView(viewSrc string, static format.Record, specs ...CitationSpec) error {
+	vq, err := cq.Parse(viewSrc)
+	if err != nil {
+		return fmt.Errorf("core: view query: %w", err)
+	}
+	v := &citation.View{Query: vq, Static: static}
+	for _, spec := range specs {
+		cqy, err := cq.Parse(spec.Query)
+		if err != nil {
+			return fmt.Errorf("core: citation query: %w", err)
+		}
+		v.Citations = append(v.Citations, &citation.CitationQuery{
+			Query:  cqy,
+			Fields: spec.Fields,
+		})
+	}
+	return s.reg.Add(v)
+}
+
+// CitationSpec pairs a citation query source with its field mapping, for
+// DefineView.
+type CitationSpec struct {
+	Query  string
+	Fields []string
+}
+
+// Commit snapshots the head as a new immutable version.
+func (s *System) Commit(message string) fixity.VersionInfo {
+	info := s.store.Commit(message)
+	return info
+}
+
+// Citation is the complete outcome of citing a query: the structural
+// result (per-tuple expressions and records), the aggregated record, and
+// the fixity pin when the store has committed versions.
+type Citation struct {
+	Result *citation.Result
+	Pin    *fixity.PinnedCitation
+}
+
+// Cite parses querySrc, generates its citation against the head database,
+// and — when at least one version has been committed — attaches a fixity
+// pin computed against the latest version.
+func (s *System) Cite(querySrc string) (*Citation, error) {
+	q, err := cq.Parse(querySrc)
+	if err != nil {
+		return nil, fmt.Errorf("core: query: %w", err)
+	}
+	return s.CiteQuery(q)
+}
+
+// CiteQuery is Cite for an already-parsed query.
+func (s *System) CiteQuery(q *cq.Query) (*Citation, error) {
+	res, err := s.gen.Cite(q)
+	if err != nil {
+		return nil, err
+	}
+	out := &Citation{Result: res}
+	if s.store.Latest() > 0 {
+		_, pin, err := s.store.ExecuteLatest(q)
+		if err != nil {
+			return nil, err
+		}
+		out.Pin = &pin
+	}
+	return out, nil
+}
+
+// Text renders the aggregated citation as human-readable text, including
+// the fixity pin when present.
+func (c *Citation) Text() string {
+	var b strings.Builder
+	b.WriteString(format.Text(c.Result.Record))
+	if c.Pin != nil {
+		b.WriteString(" [")
+		b.WriteString(c.Pin.String())
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// BibTeX renders the aggregated citation as a BibTeX entry.
+func (c *Citation) BibTeX(key string) string {
+	rec := c.Result.Record
+	if c.Pin != nil {
+		rec = rec.Clone()
+		rec.Add(format.FieldNote, c.Pin.String())
+	}
+	return format.BibTeX(rec, key)
+}
+
+// RIS renders the aggregated citation in RIS format.
+func (c *Citation) RIS() string {
+	rec := c.Result.Record
+	if c.Pin != nil {
+		rec = rec.Clone()
+		rec.Add(format.FieldNote, c.Pin.String())
+	}
+	return format.RIS(rec)
+}
+
+// XML renders the aggregated citation as XML.
+func (c *Citation) XML() (string, error) {
+	rec := c.Result.Record
+	if c.Pin != nil {
+		rec = rec.Clone()
+		rec.Add(format.FieldNote, c.Pin.String())
+	}
+	return format.XML(rec)
+}
+
+// JSON renders the aggregated citation as JSON.
+func (c *Citation) JSON() (string, error) {
+	rec := c.Result.Record
+	if c.Pin != nil {
+		rec = rec.Clone()
+		rec.Add(format.FieldNote, c.Pin.String())
+	}
+	return format.JSON(rec)
+}
+
+// Archive deposits the full extended citation (query text, formal
+// expression, resolved record) into the content-addressed store and
+// returns the compact reference plus a bibliography-sized rendering — the
+// paper's §3 "size of citations" proposal: the inline citation becomes "a
+// reference to an extended citation which is a searchable object".
+func (c *Citation) Archive(store *citestore.Store) (ref, compact string) {
+	ext := citestore.Extended{
+		QueryText: c.Result.Query.String(),
+		Expr:      c.Result.Expr,
+		Record:    c.Result.Record,
+	}
+	ref = store.Put(ext)
+	return ref, citestore.FormatCompact(ext, ref)
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/format"
+	"repro/internal/gtopdb"
+	"repro/internal/policy"
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+const title = "IUPHAR/BPS Guide to PHARMACOLOGY"
+
+func paperSystem(t *testing.T) *System {
+	t.Helper()
+	s := schema.New()
+	s.MustAdd(schema.MustRelation("Family", []schema.Attribute{
+		{Name: "FID", Kind: value.KindInt},
+		{Name: "FName", Kind: value.KindString},
+		{Name: "Desc", Kind: value.KindString},
+	}, "FID"))
+	s.MustAdd(schema.MustRelation("Committee", []schema.Attribute{
+		{Name: "FID", Kind: value.KindInt},
+		{Name: "PName", Kind: value.KindString},
+	}))
+	s.MustAdd(schema.MustRelation("FamilyIntro", []schema.Attribute{
+		{Name: "FID", Kind: value.KindInt},
+		{Name: "Text", Kind: value.KindString},
+	}, "FID"))
+	sys := NewSystem(s)
+	db := sys.Database()
+	ins := func(rel string, vals ...value.Value) {
+		if err := db.Insert(rel, vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("Family", value.Int(11), value.String("Calcitonin"), value.String("C1"))
+	ins("Family", value.Int(12), value.String("Calcitonin"), value.String("C2"))
+	ins("FamilyIntro", value.Int(11), value.String("1st"))
+	ins("FamilyIntro", value.Int(12), value.String("2nd"))
+	ins("Committee", value.Int(11), value.String("Alice"))
+	ins("Committee", value.Int(12), value.String("Carol"))
+	db.BuildIndexes()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(sys.DefineView(
+		"lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)",
+		format.NewRecord(format.FieldDatabase, title),
+		CitationSpec{
+			Query:  "lambda FID. CV1(FID, PName) :- Committee(FID, PName)",
+			Fields: []string{format.FieldIdentifier, format.FieldAuthor},
+		}))
+	must(sys.DefineView(
+		"V3(FID, Text) :- FamilyIntro(FID, Text)", nil,
+		CitationSpec{
+			Query:  "CV3(D) :- D = '" + title + "'",
+			Fields: []string{format.FieldDatabase},
+		}))
+	return sys
+}
+
+const paperQ = "Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)"
+
+func TestCiteWithoutCommitHasNoPin(t *testing.T) {
+	sys := paperSystem(t)
+	cite, err := sys.Cite(paperQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cite.Pin != nil {
+		t.Error("pin present without any committed version")
+	}
+	if strings.Contains(cite.Text(), "sha256") {
+		t.Error("text contains pin without commit")
+	}
+}
+
+func TestCiteWithCommitCarriesPin(t *testing.T) {
+	sys := paperSystem(t)
+	info := sys.Commit("v1")
+	if info.Version != 1 {
+		t.Fatalf("version %d", info.Version)
+	}
+	cite, err := sys.Cite(paperQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cite.Pin == nil {
+		t.Fatal("no pin after commit")
+	}
+	if cite.Pin.Version != 1 || cite.Pin.Tuples != 1 {
+		t.Errorf("pin %+v", cite.Pin)
+	}
+	ok, err := sys.Store().Verify(*cite.Pin)
+	if err != nil || !ok {
+		t.Errorf("pin does not verify: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestAllFormatsIncludePin(t *testing.T) {
+	sys := paperSystem(t)
+	sys.Commit("v1")
+	cite, err := sys.Cite(paperQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cite.Text(), "sha256=") {
+		t.Error("Text missing pin")
+	}
+	if !strings.Contains(cite.BibTeX("k"), "sha256=") {
+		t.Error("BibTeX missing pin")
+	}
+	if !strings.Contains(cite.RIS(), "sha256=") {
+		t.Error("RIS missing pin")
+	}
+	xmlOut, err := cite.XML()
+	if err != nil || !strings.Contains(xmlOut, "sha256=") {
+		t.Errorf("XML missing pin: %v", err)
+	}
+	jsonOut, err := cite.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string][]string
+	if err := json.Unmarshal([]byte(jsonOut), &m); err != nil {
+		t.Fatalf("JSON invalid: %v", err)
+	}
+	// Rendering with pin must not mutate the underlying record.
+	if len(cite.Result.Record[format.FieldNote]) != 0 {
+		t.Error("pin rendering mutated the result record")
+	}
+}
+
+func TestDefineViewErrors(t *testing.T) {
+	sys := paperSystem(t)
+	if err := sys.DefineView("not a query", nil); err == nil {
+		t.Error("bad view source accepted")
+	}
+	if err := sys.DefineView("V9(X) :- Family(X, N, D)", nil,
+		CitationSpec{Query: "broken((", Fields: nil}); err == nil {
+		t.Error("bad citation source accepted")
+	}
+	if err := sys.DefineView("V1(FID, FName, Desc) :- Family(FID, FName, Desc)", nil); err == nil {
+		t.Error("duplicate view name accepted")
+	}
+}
+
+func TestCiteParseError(t *testing.T) {
+	sys := paperSystem(t)
+	if _, err := sys.Cite("((("); err == nil {
+		t.Error("unparseable query accepted")
+	}
+}
+
+func TestSetPolicyAffectsCitations(t *testing.T) {
+	sys := paperSystem(t)
+	p := policy.Default()
+	p.AltR = policy.MaxCoverage
+	sys.SetPolicy(p)
+	cite, err := sys.Cite(paperQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cite.Result.Record[format.FieldAuthor]) == 0 {
+		t.Error("max-coverage policy produced no authors")
+	}
+}
+
+func TestNewSystemFromDatabase(t *testing.T) {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 15
+	db := gtopdb.Generate(cfg)
+	sys := NewSystemFromDatabase(db)
+	if sys.Database().Relation("Family").Len() != 15 {
+		t.Error("data not copied")
+	}
+	// Mutating the source must not affect the system.
+	if err := db.Insert("Family", value.Int(999), value.String("X"), value.String("D")); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Database().Relation("Family").Len() != 15 {
+		t.Error("system shares storage with source database")
+	}
+}

@@ -1,0 +1,330 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestParseSimpleQuery(t *testing.T) {
+	q, err := Parse("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Name != "Q" {
+		t.Errorf("name %q", q.Name)
+	}
+	if len(q.Head) != 1 || !q.Head[0].Equal(Var("FName")) {
+		t.Errorf("head %v", q.Head)
+	}
+	if len(q.Body) != 2 {
+		t.Fatalf("body has %d atoms", len(q.Body))
+	}
+	if q.Body[0].Predicate != "Family" || len(q.Body[0].Terms) != 3 {
+		t.Errorf("atom 0: %v", q.Body[0])
+	}
+	if q.IsParameterized() {
+		t.Error("unexpected parameters")
+	}
+}
+
+func TestParseLambdaKeywordAndUnicode(t *testing.T) {
+	for _, src := range []string{
+		"lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)",
+		"λ FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)",
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if len(q.Params) != 1 || q.Params[0] != "FID" {
+			t.Errorf("params %v", q.Params)
+		}
+	}
+}
+
+func TestParseMultipleParams(t *testing.T) {
+	q, err := Parse("lambda A, B. V(A, B, C) :- R(A, B, C)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Params) != 2 || q.Params[0] != "A" || q.Params[1] != "B" {
+		t.Errorf("params %v", q.Params)
+	}
+}
+
+func TestParseEqualityFolding(t *testing.T) {
+	q, err := Parse("CV2(D) :- D = 'IUPHAR/BPS Guide to PHARMACOLOGY...'")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !q.IsConstant() {
+		t.Fatal("equality-only body should fold to constant query")
+	}
+	if q.Head[0].IsVar || q.Head[0].Const.Str() != "IUPHAR/BPS Guide to PHARMACOLOGY..." {
+		t.Errorf("head %v", q.Head)
+	}
+}
+
+func TestParseEqualityWithAtoms(t *testing.T) {
+	q, err := Parse("Q(X) :- R(X, Y), Y = 5")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Body) != 1 {
+		t.Fatalf("body %v", q.Body)
+	}
+	if q.Body[0].Terms[1].IsVar || q.Body[0].Terms[1].Const != value.Int(5) {
+		t.Errorf("constant not folded: %v", q.Body[0])
+	}
+}
+
+func TestParseConflictingEqualities(t *testing.T) {
+	if _, err := Parse("Q(X) :- R(X, Y), Y = 5, Y = 6"); err == nil {
+		t.Error("conflicting equalities accepted")
+	}
+}
+
+func TestParseConstantsInAtoms(t *testing.T) {
+	q, err := Parse("Q(X) :- R(X, 'lit', 42, 2.5)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	terms := q.Body[0].Terms
+	if terms[1].Const != value.String("lit") {
+		t.Errorf("string constant: %v", terms[1])
+	}
+	if terms[2].Const != value.Int(42) {
+		t.Errorf("int constant: %v", terms[2])
+	}
+	if terms[3].Const != value.Float(2.5) {
+		t.Errorf("float constant: %v", terms[3])
+	}
+}
+
+func TestParseQuoteEscapes(t *testing.T) {
+	q, err := Parse("Q(X) :- R(X, 'it''s')")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Body[0].Terms[1].Const.Str() != "it's" {
+		t.Errorf("escape: %v", q.Body[0].Terms[1])
+	}
+	q2, err := Parse(`Q(X) :- R(X, "double")`)
+	if err != nil {
+		t.Fatalf("double-quoted: %v", err)
+	}
+	if q2.Body[0].Terms[1].Const.Str() != "double" {
+		t.Errorf("double-quoted payload: %v", q2.Body[0].Terms[1])
+	}
+}
+
+func TestParseTrueBody(t *testing.T) {
+	q, err := Parse("C(1, 'x') :- true")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !q.IsConstant() {
+		t.Error("true body should yield constant query")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Q(X)",                      // no body
+		"Q(X) :- ",                  // empty body
+		"Q(X) : R(X)",               // bad turnstile
+		"Q(X :- R(X)",               // unbalanced parens
+		"Q(X) :- R(X",               // unterminated atom
+		"Q(X) :- R(X, 'unclosed",    // unterminated string
+		"Q(X) :- R(Y)",              // unsafe head
+		"lambda P. Q(X) :- R(X)",    // param not in head
+		"lambda P, P. Q(P) :- R(P)", // duplicate param
+		"Q(X) :- R(X) extra",        // trailing tokens
+		"Q(X) :- X = 'c'",           // head var bound only by equality is constant-folded; safe, see below
+	}
+	for _, src := range bad[:11] {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+	// The last case folds X='c' making the head constant — legal.
+	if _, err := Parse(bad[11]); err != nil {
+		t.Errorf("Parse(%q) rejected: %v", bad[11], err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	sources := []string{
+		"Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)",
+		"lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)",
+		"Q(X) :- R(X, 'it''s'), S(X, 42)",
+		"C('k') :- true",
+		"lambda A, B. V(A, B) :- R(A, B), S(B, A)",
+	}
+	for _, src := range sources {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Errorf("round trip: %q -> %q", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestParseProgram(t *testing.T) {
+	src := `
+-- paper views
+lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)
+V2(FID, FName, Desc) :- Family(FID, FName, Desc)
+
+# comment style two
+V3(FID, Text) :- FamilyIntro(FID, Text)
+`
+	qs, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("got %d queries, want 3", len(qs))
+	}
+	if qs[0].Name != "V1" || qs[2].Name != "V3" {
+		t.Errorf("names %s, %s", qs[0].Name, qs[2].Name)
+	}
+}
+
+func TestParseProgramContinuation(t *testing.T) {
+	src := "Q(FName) :- Family(FID, FName, Desc),\n  FamilyIntro(FID, Text)"
+	qs, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	if len(qs) != 1 || len(qs[0].Body) != 2 {
+		t.Fatalf("continuation parse wrong: %v", qs)
+	}
+}
+
+func TestParseProgramError(t *testing.T) {
+	if _, err := ParseProgram("Q(X) :- R(X)\nbroken((("); err == nil {
+		t.Error("broken program accepted")
+	}
+}
+
+func TestVarsHelpers(t *testing.T) {
+	q := MustParse("Q(X, Y) :- R(X, Z), S(Z, Y), T(Z, 'c')")
+	if hv := q.HeadVars(); len(hv) != 2 || hv[0] != "X" || hv[1] != "Y" {
+		t.Errorf("HeadVars %v", hv)
+	}
+	if bv := q.BodyVars(); len(bv) != 3 {
+		t.Errorf("BodyVars %v", bv)
+	}
+	if av := q.AllVars(); len(av) != 3 {
+		t.Errorf("AllVars %v", av)
+	}
+	if ev := q.ExistentialVars(); len(ev) != 1 || ev[0] != "Z" {
+		t.Errorf("ExistentialVars %v", ev)
+	}
+}
+
+func TestRenameDisjoint(t *testing.T) {
+	q := MustParse("lambda X. Q(X, Y) :- R(X, Y)")
+	r := q.Rename("p_")
+	for _, v := range r.AllVars() {
+		if !strings.HasPrefix(v, "p_") {
+			t.Errorf("variable %s not renamed", v)
+		}
+	}
+	if r.Params[0] != "p_X" {
+		t.Errorf("param not renamed: %v", r.Params)
+	}
+	// Original untouched.
+	if q.Head[0].Name != "X" {
+		t.Error("Rename mutated the original")
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	q := MustParse("Q(X, Y) :- R(X, Y)")
+	s := q.Substitute(map[string]Term{"X": Const(value.Int(7))})
+	if s.Head[0].IsVar {
+		t.Errorf("head not substituted: %v", s.Head)
+	}
+	if s.Body[0].Terms[0].Const != value.Int(7) {
+		t.Errorf("body not substituted: %v", s.Body)
+	}
+	if s.Body[0].Terms[1].Name != "Y" {
+		t.Errorf("unrelated variable changed: %v", s.Body)
+	}
+}
+
+func TestSignatureRenamingInvariant(t *testing.T) {
+	a := MustParse("Q(X) :- R(X, Y), S(Y, X)")
+	b := MustParse("Q(U) :- R(U, W), S(W, U)")
+	if a.Signature() != b.Signature() {
+		t.Errorf("alpha-equivalent queries have different signatures:\n%s\n%s", a.Signature(), b.Signature())
+	}
+	c := MustParse("Q(X) :- R(X, Y), S(X, Y)")
+	if a.Signature() == c.Signature() {
+		t.Error("structurally different queries share a signature")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	q := MustParse("lambda X. Q(X) :- R(X, Y)")
+	c := q.Clone()
+	c.Body[0].Terms[0] = Const(value.Int(0))
+	c.Params[0] = "Z"
+	if !q.Body[0].Terms[0].IsVar || q.Params[0] != "X" {
+		t.Error("Clone shares structure with original")
+	}
+}
+
+func TestAtomHelpers(t *testing.T) {
+	a := NewAtom("R", Var("X"), Const(value.Int(1)), Var("X"))
+	if a.String() != "R(X, 1, X)" {
+		t.Errorf("String %q", a.String())
+	}
+	vars := a.Vars(nil)
+	if len(vars) != 1 || vars[0] != "X" {
+		t.Errorf("Vars %v", vars)
+	}
+	b := a.Clone()
+	b.Terms[0] = Var("Y")
+	if a.Terms[0].Name != "X" {
+		t.Error("Atom.Clone shares terms")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("atom not equal to its clone")
+	}
+	if a.Equal(NewAtom("R", Var("X"))) {
+		t.Error("different arity atoms equal")
+	}
+}
+
+func TestValidateDirect(t *testing.T) {
+	q := &Query{Name: "Q", Head: []Term{Var("X")}, Body: []Atom{NewAtom("R", Var("X"))}}
+	if err := q.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	bad := &Query{Head: []Term{Var("X")}, Body: []Atom{NewAtom("R", Var("X"))}}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestNegativeNumberLiteral(t *testing.T) {
+	q, err := Parse("Q(X) :- R(X, -5)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Body[0].Terms[1].Const != value.Int(-5) {
+		t.Errorf("negative literal: %v", q.Body[0].Terms[1])
+	}
+}

@@ -1,0 +1,447 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/value"
+)
+
+// tokenKind enumerates lexer token kinds.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokTurnstile // :-
+	tokEquals
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) describe() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) {
+		r, size := utf8.DecodeRuneInString(l.input[l.pos:])
+		if unicode.IsSpace(r) {
+			l.pos += size
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	r, size := utf8.DecodeRuneInString(l.input[l.pos:])
+	switch {
+	case r == '(':
+		l.pos += size
+		return token{tokLParen, "(", start}, nil
+	case r == ')':
+		l.pos += size
+		return token{tokRParen, ")", start}, nil
+	case r == ',':
+		l.pos += size
+		return token{tokComma, ",", start}, nil
+	case r == '.':
+		l.pos += size
+		return token{tokDot, ".", start}, nil
+	case r == '=':
+		l.pos += size
+		return token{tokEquals, "=", start}, nil
+	case r == ':':
+		if strings.HasPrefix(l.input[l.pos:], ":-") {
+			l.pos += 2
+			return token{tokTurnstile, ":-", start}, nil
+		}
+		return token{}, fmt.Errorf("cq: position %d: expected \":-\", found %q", start, l.input[l.pos:l.pos+1])
+	case r == '\'':
+		l.pos += size
+		var b strings.Builder
+		for l.pos < len(l.input) {
+			c := l.input[l.pos]
+			if c == '\'' {
+				// Doubled quote is an escaped quote.
+				if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{tokString, b.String(), start}, nil
+			}
+			b.WriteByte(c)
+			l.pos++
+		}
+		return token{}, fmt.Errorf("cq: position %d: unterminated string literal", start)
+	case r == '"':
+		l.pos += size
+		var b strings.Builder
+		for l.pos < len(l.input) {
+			c := l.input[l.pos]
+			if c == '"' {
+				l.pos++
+				return token{tokString, b.String(), start}, nil
+			}
+			b.WriteByte(c)
+			l.pos++
+		}
+		return token{}, fmt.Errorf("cq: position %d: unterminated string literal", start)
+	case r == '-' || unicode.IsDigit(r):
+		l.pos += size
+		for l.pos < len(l.input) {
+			c := l.input[l.pos]
+			if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-' {
+				// Stop a trailing '.' that is actually a statement dot:
+				// digits followed by '.' then non-digit.
+				if c == '.' && (l.pos+1 >= len(l.input) || l.input[l.pos+1] < '0' || l.input[l.pos+1] > '9') {
+					break
+				}
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{tokNumber, l.input[start:l.pos], start}, nil
+	case r == 'λ':
+		l.pos += size
+		return token{tokIdent, "lambda", start}, nil
+	case unicode.IsLetter(r) || r == '_':
+		l.pos += size
+		for l.pos < len(l.input) {
+			r2, s2 := utf8.DecodeRuneInString(l.input[l.pos:])
+			if unicode.IsLetter(r2) || unicode.IsDigit(r2) || r2 == '_' {
+				l.pos += s2
+				continue
+			}
+			break
+		}
+		return token{tokIdent, l.input[start:l.pos], start}, nil
+	default:
+		return token{}, fmt.Errorf("cq: position %d: unexpected character %q", start, string(r))
+	}
+}
+
+// parser is a single-statement recursive-descent parser over the lexer.
+type parser struct {
+	lex  *lexer
+	tok  token
+	peek *token
+}
+
+func newParser(input string) (*parser, error) {
+	p := &parser{lex: &lexer{input: input}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	if p.peek != nil {
+		p.tok = *p.peek
+		p.peek = nil
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peekTok() (token, error) {
+	if p.peek == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if p.tok.kind != k {
+		return token{}, fmt.Errorf("cq: position %d: expected %s, found %s", p.tok.pos, what, p.tok.describe())
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// Parse parses a single conjunctive query in datalog syntax. Equality atoms
+// (Var = literal) are folded into the query as constant substitutions. The
+// body keyword "true" denotes an empty body.
+func Parse(input string) (*Query, error) {
+	p, err := newParser(input)
+	if err != nil {
+		return nil, err
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("cq: position %d: trailing input %s", p.tok.pos, p.tok.describe())
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; for statically known queries.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseProgram parses a sequence of queries, one per line. Blank lines and
+// lines starting with "--" or "#" are skipped. A query may span multiple
+// lines if continuation lines start with whitespace.
+func ParseProgram(input string) ([]*Query, error) {
+	var stmts []string
+	var cur strings.Builder
+	flush := func() {
+		if strings.TrimSpace(cur.String()) != "" {
+			stmts = append(stmts, cur.String())
+		}
+		cur.Reset()
+	}
+	for _, line := range strings.Split(input, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "--") || strings.HasPrefix(trimmed, "#") {
+			flush()
+			continue
+		}
+		if len(line) > 0 && (line[0] == ' ' || line[0] == '\t') && cur.Len() > 0 {
+			cur.WriteByte(' ')
+			cur.WriteString(trimmed)
+			continue
+		}
+		flush()
+		cur.WriteString(trimmed)
+	}
+	flush()
+	out := make([]*Query, 0, len(stmts))
+	for i, s := range stmts {
+		q, err := Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("cq: statement %d: %w", i+1, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	// Optional λ-prefix: lambda P1, ..., Pk .
+	if p.tok.kind == tokIdent && p.tok.text == "lambda" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			id, err := p.expect(tokIdent, "parameter name")
+			if err != nil {
+				return nil, err
+			}
+			q.Params = append(q.Params, id.text)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokDot, "'.' after lambda parameters"); err != nil {
+			return nil, err
+		}
+	}
+	name, err := p.expect(tokIdent, "query name")
+	if err != nil {
+		return nil, err
+	}
+	q.Name = name.text
+	head, err := p.parseTermList()
+	if err != nil {
+		return nil, err
+	}
+	q.Head = head
+	if _, err := p.expect(tokTurnstile, "':-'"); err != nil {
+		return nil, err
+	}
+	// Body: "true" or a comma-separated list of atoms / equalities.
+	if p.tok.kind == tokIdent && p.tok.text == "true" {
+		nxt, err := p.peekTok()
+		if err != nil {
+			return nil, err
+		}
+		if nxt.kind == tokEOF {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return q, nil
+		}
+	}
+	subst := make(map[string]Term)
+	for {
+		if p.tok.kind != tokIdent {
+			return nil, fmt.Errorf("cq: position %d: expected atom, found %s", p.tok.pos, p.tok.describe())
+		}
+		nxt, err := p.peekTok()
+		if err != nil {
+			return nil, err
+		}
+		if nxt.kind == tokEquals {
+			// Equality atom: Var = literal.
+			varName := p.tok.text
+			if err := p.advance(); err != nil { // consume var
+				return nil, err
+			}
+			if err := p.advance(); err != nil { // consume '='
+				return nil, err
+			}
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			if prev, dup := subst[varName]; dup && !prev.Equal(lit) {
+				return nil, fmt.Errorf("cq: variable %s bound to two different constants", varName)
+			}
+			subst[varName] = lit
+		} else {
+			atom, err := p.parseAtom()
+			if err != nil {
+				return nil, err
+			}
+			q.Body = append(q.Body, atom)
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if len(subst) > 0 {
+		q2 := q.Substitute(subst)
+		q2.Params = q.Params
+		return q2, nil
+	}
+	return q, nil
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	name, err := p.expect(tokIdent, "predicate name")
+	if err != nil {
+		return Atom{}, err
+	}
+	terms, err := p.parseTermList()
+	if err != nil {
+		return Atom{}, err
+	}
+	return Atom{Predicate: name.text, Terms: terms}, nil
+}
+
+func (p *parser) parseTermList() ([]Term, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var terms []Term
+	if p.tok.kind == tokRParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return terms, nil
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return terms, nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		return Var(name), nil
+	case tokString, tokNumber:
+		return p.parseLiteral()
+	default:
+		return Term{}, fmt.Errorf("cq: position %d: expected term, found %s", p.tok.pos, p.tok.describe())
+	}
+}
+
+func (p *parser) parseLiteral() (Term, error) {
+	switch p.tok.kind {
+	case tokString:
+		v := value.String(p.tok.text)
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		return Const(v), nil
+	case tokNumber:
+		v := value.Parse(p.tok.text)
+		if err := p.advance(); err != nil {
+			return Term{}, err
+		}
+		return Const(v), nil
+	default:
+		return Term{}, fmt.Errorf("cq: position %d: expected literal, found %s", p.tok.pos, p.tok.describe())
+	}
+}

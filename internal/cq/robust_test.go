@@ -1,0 +1,98 @@
+package cq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds random byte soup and random near-miss query
+// strings to the parser: it must always return an error or a valid query,
+// never panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		q, err := Parse(s)
+		if err == nil && q == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNearMissMutations mutates valid queries one character at a time
+// and checks the parser stays panic-free and either rejects or round-trips.
+func TestParseNearMissMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bases := []string{
+		"Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)",
+		"lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)",
+		"CV2(D) :- D = 'IUPHAR/BPS Guide to PHARMACOLOGY...'",
+	}
+	chars := []byte("(),.:-'λQXabz019 =\t\"")
+	for _, base := range bases {
+		for trial := 0; trial < 500; trial++ {
+			b := []byte(base)
+			pos := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0:
+				b[pos] = chars[rng.Intn(len(chars))]
+			case 1:
+				b = append(b[:pos], b[pos+1:]...)
+			default:
+				b = append(b[:pos], append([]byte{chars[rng.Intn(len(chars))]}, b[pos:]...)...)
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on mutated input %q: %v", b, r)
+					}
+				}()
+				q, err := Parse(string(b))
+				if err == nil {
+					// Accepted mutants must round-trip.
+					if _, err2 := Parse(q.String()); err2 != nil {
+						t.Errorf("accepted %q but its rendering %q fails: %v", b, q.String(), err2)
+					}
+				}
+			}()
+		}
+	}
+}
+
+// TestParseProgramNeverPanics exercises the multi-statement splitter.
+func TestParseProgramNeverPanics(t *testing.T) {
+	f := func(lines []string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseProgram(strings.Join(lines, "\n"))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeepNestingBounded guards the lexer against pathological inputs.
+func TestDeepNestingBounded(t *testing.T) {
+	long := "Q(" + strings.Repeat("X, ", 5000) + "X) :- R(" + strings.Repeat("X, ", 5000) + "X)"
+	if _, err := Parse(long); err != nil {
+		t.Fatalf("wide query rejected: %v", err)
+	}
+	garbage := strings.Repeat("(", 100000)
+	if _, err := Parse(garbage); err == nil {
+		t.Fatal("paren soup accepted")
+	}
+}

@@ -1,0 +1,395 @@
+// Package eval executes conjunctive queries over relation instances. It
+// provides plain (set-semantics) evaluation, full binding enumeration, and
+// semiring-annotated evaluation in the sense of Green et al. (PODS 2007):
+// the annotation of an output tuple is the sum (+) over bindings of the
+// product (·) of the annotations of the base tuples used.
+//
+// The citation generator runs annotated evaluation over *materialized view
+// instances*, with view tuples annotated by citation atoms; the resulting
+// polynomial per output tuple is exactly the paper's
+// Σ_B  F_V1(CV1(B1)) · … · F_Vn(CVn(Bn))  (Definitions 2.1 and 2.2).
+//
+// Join processing is index-nested-loop with a greedy bound-variable
+// ordering heuristic; relations expose optional hash indexes (see
+// package storage).
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/semiring"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Instance supplies relation instances by predicate name. Both
+// *storage.Database and the lightweight Relations map implement it.
+type Instance interface {
+	Relation(name string) *storage.Relation
+}
+
+// Relations adapts a plain map to the Instance interface; used to evaluate
+// rewritings over materialized view instances.
+type Relations map[string]*storage.Relation
+
+// Relation returns the named relation or nil.
+func (r Relations) Relation(name string) *storage.Relation { return r[name] }
+
+// Binding assigns values to variable names.
+type Binding map[string]value.Value
+
+// Clone copies the binding.
+func (b Binding) Clone() Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Apply resolves a term under the binding; unbound variables report ok=false.
+func (b Binding) Apply(t cq.Term) (value.Value, bool) {
+	if !t.IsVar {
+		return t.Const, true
+	}
+	v, ok := b[t.Name]
+	return v, ok
+}
+
+// Annotated pairs an output tuple with its semiring annotation.
+type Annotated[T any] struct {
+	Tuple      storage.Tuple
+	Annotation T
+}
+
+// orderAtoms returns an evaluation order for the body atoms: greedily pick
+// the atom with the most terms bound so far (constants or previously bound
+// variables), breaking ties by smaller relation cardinality. This keeps
+// index-nested-loop joins selective without a full optimizer.
+func orderAtoms(inst Instance, body []cq.Atom) ([]cq.Atom, error) {
+	remaining := make([]cq.Atom, 0, len(body))
+	for _, a := range body {
+		rel := inst.Relation(a.Predicate)
+		if rel == nil {
+			return nil, fmt.Errorf("eval: unknown relation %s", a.Predicate)
+		}
+		if rel.Schema().Arity() != len(a.Terms) {
+			return nil, fmt.Errorf("eval: atom %s has arity %d, relation has %d",
+				a.Predicate, len(a.Terms), rel.Schema().Arity())
+		}
+		remaining = append(remaining, coerceConstants(a, rel))
+	}
+	bound := make(map[string]bool)
+	out := make([]cq.Atom, 0, len(body))
+	for len(remaining) > 0 {
+		bestIdx, bestScore, bestSize := -1, -1, 0
+		for i, a := range remaining {
+			rel := inst.Relation(a.Predicate)
+			score := 0
+			for _, t := range a.Terms {
+				if !t.IsVar || bound[t.Name] {
+					score++
+				}
+			}
+			size := rel.Len()
+			if bestIdx < 0 || score > bestScore || (score == bestScore && size < bestSize) {
+				bestIdx, bestScore, bestSize = i, score, size
+			}
+		}
+		chosen := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		out = append(out, chosen)
+		for _, t := range chosen.Terms {
+			if t.IsVar {
+				bound[t.Name] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// coerceConstants aligns constant terms with the kinds the relation's
+// columns declare: the query syntax writes every quoted literal as a
+// string, so a constant like '2026-01-15T00:00:00Z' compared against a
+// time column must be lifted to a time value (and integer literals to
+// float columns). Unliftable constants are left alone — they simply never
+// match, which is the correct empty-answer semantics.
+func coerceConstants(a cq.Atom, rel *storage.Relation) cq.Atom {
+	var out *cq.Atom
+	for i, t := range a.Terms {
+		if t.IsVar || i >= rel.Schema().Arity() {
+			continue
+		}
+		want := rel.Schema().Attributes[i].Kind
+		if t.Const.Kind() == want {
+			continue
+		}
+		var lifted value.Value
+		switch {
+		case want == value.KindTime && t.Const.Kind() == value.KindString:
+			lifted = value.Parse(t.Const.Str())
+			if lifted.Kind() != value.KindTime {
+				continue
+			}
+		case want == value.KindFloat && t.Const.Kind() == value.KindInt:
+			lifted = value.Float(float64(t.Const.IntVal()))
+		default:
+			continue
+		}
+		if out == nil {
+			c := a.Clone()
+			out = &c
+		}
+		out.Terms[i] = cq.Const(lifted)
+	}
+	if out != nil {
+		return *out
+	}
+	return a
+}
+
+// matchAtom finds the live tuples of the atom's relation compatible with
+// the current binding, preferring an indexed bound column.
+func matchAtom(inst Instance, a cq.Atom, b Binding) []storage.Tuple {
+	rel := inst.Relation(a.Predicate)
+	// Collect bound columns.
+	type boundCol struct {
+		col int
+		val value.Value
+	}
+	var bounds []boundCol
+	for i, t := range a.Terms {
+		if v, ok := b.Apply(t); ok {
+			bounds = append(bounds, boundCol{i, v})
+		}
+	}
+	var candidates []storage.Tuple
+	if len(bounds) > 0 {
+		// Prefer an indexed column for the initial lookup.
+		pick := bounds[0]
+		for _, bc := range bounds {
+			if rel.HasIndex(bc.col) {
+				pick = bc
+				break
+			}
+		}
+		candidates = rel.Lookup(pick.col, pick.val)
+	} else {
+		candidates = rel.Tuples()
+	}
+	// Filter by all bound columns and by repeated-variable equality.
+	out := candidates[:0:0]
+	for _, t := range candidates {
+		ok := true
+		seen := make(map[string]value.Value, len(a.Terms))
+		for i, term := range a.Terms {
+			if v, bound := b.Apply(term); bound {
+				if t[i] != v {
+					ok = false
+					break
+				}
+			}
+			if term.IsVar {
+				if prev, dup := seen[term.Name]; dup {
+					if prev != t[i] {
+						ok = false
+						break
+					}
+				} else {
+					seen[term.Name] = t[i]
+				}
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// enumerate walks every satisfying assignment of the ordered atoms,
+// invoking fn with the binding and the matched tuple per atom (parallel to
+// atoms). fn returning false stops the walk.
+func enumerate(inst Instance, atoms []cq.Atom, fn func(Binding, []storage.Tuple) bool) {
+	matched := make([]storage.Tuple, len(atoms))
+	b := make(Binding)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(atoms) {
+			return fn(b, matched)
+		}
+		a := atoms[i]
+		for _, t := range matchAtom(inst, a, b) {
+			var newly []string
+			for j, term := range a.Terms {
+				if term.IsVar {
+					if _, ok := b[term.Name]; !ok {
+						b[term.Name] = t[j]
+						newly = append(newly, term.Name)
+					}
+				}
+			}
+			matched[i] = t
+			if !rec(i + 1) {
+				return false
+			}
+			for _, v := range newly {
+				delete(b, v)
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// headTuple projects the binding onto the query head. All head variables
+// are bound by construction for safe queries.
+func headTuple(q *cq.Query, b Binding) (storage.Tuple, error) {
+	out := make(storage.Tuple, len(q.Head))
+	for i, t := range q.Head {
+		v, ok := b.Apply(t)
+		if !ok {
+			return nil, fmt.Errorf("eval: head variable %s unbound (unsafe query %s)", t.Name, q.Name)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Eval computes the distinct answer tuples of q over inst (set semantics),
+// in deterministic (sorted) order.
+func Eval(inst Instance, q *cq.Query) ([]storage.Tuple, error) {
+	if q.IsConstant() {
+		t := make(storage.Tuple, len(q.Head))
+		for i, term := range q.Head {
+			if term.IsVar {
+				return nil, fmt.Errorf("eval: unsafe constant query %s", q.Name)
+			}
+			t[i] = term.Const
+		}
+		return []storage.Tuple{t}, nil
+	}
+	atoms, err := orderAtoms(inst, q.Body)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]storage.Tuple)
+	var evalErr error
+	enumerate(inst, atoms, func(b Binding, _ []storage.Tuple) bool {
+		t, err := headTuple(q, b)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		seen[t.Key()] = t
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	out := make([]storage.Tuple, 0, len(seen))
+	for _, t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
+}
+
+// ForEachBinding enumerates every satisfying assignment of q's body
+// variables, invoking fn with each complete binding. fn returning false
+// stops the enumeration early.
+func ForEachBinding(inst Instance, q *cq.Query, fn func(Binding) bool) error {
+	if q.IsConstant() {
+		fn(Binding{})
+		return nil
+	}
+	atoms, err := orderAtoms(inst, q.Body)
+	if err != nil {
+		return err
+	}
+	enumerate(inst, atoms, func(b Binding, _ []storage.Tuple) bool {
+		return fn(b.Clone())
+	})
+	return nil
+}
+
+// CountBindings returns the number of satisfying assignments (derivations),
+// i.e. the bag-semantics multiplicity summed over all output tuples.
+func CountBindings(inst Instance, q *cq.Query) (int, error) {
+	n := 0
+	err := ForEachBinding(inst, q, func(Binding) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// EvalAnnotated evaluates q under the semiring sr. The base annotation of
+// each matched tuple is supplied by annot(predicate, tuple); per output
+// tuple the result is Σ over bindings of Π over body atoms, exactly the
+// semiring semantics of Green et al. Output order is deterministic.
+func EvalAnnotated[T any](inst Instance, q *cq.Query, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T) ([]Annotated[T], error) {
+	if q.IsConstant() {
+		t := make(storage.Tuple, len(q.Head))
+		for i, term := range q.Head {
+			if term.IsVar {
+				return nil, fmt.Errorf("eval: unsafe constant query %s", q.Name)
+			}
+			t[i] = term.Const
+		}
+		return []Annotated[T]{{Tuple: t, Annotation: sr.One()}}, nil
+	}
+	atoms, err := orderAtoms(inst, q.Body)
+	if err != nil {
+		return nil, err
+	}
+	acc := make(map[string]*Annotated[T])
+	var order []string
+	var evalErr error
+	enumerate(inst, atoms, func(b Binding, matched []storage.Tuple) bool {
+		t, err := headTuple(q, b)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		prod := sr.One()
+		for i, a := range atoms {
+			prod = sr.Times(prod, annot(a.Predicate, matched[i]))
+		}
+		k := t.Key()
+		if cur, ok := acc[k]; ok {
+			cur.Annotation = sr.Plus(cur.Annotation, prod)
+		} else {
+			acc[k] = &Annotated[T]{Tuple: t.Clone(), Annotation: prod}
+			order = append(order, k)
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	out := make([]Annotated[T], 0, len(acc))
+	for _, k := range order {
+		out = append(out, *acc[k])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out, nil
+}
+
+// Materialize evaluates q and loads its distinct answers into a fresh
+// relation with the given schema. It is used to materialize view instances
+// before evaluating rewritings over them.
+func Materialize(inst Instance, q *cq.Query, rs *storage.Relation) error {
+	tuples, err := Eval(inst, q)
+	if err != nil {
+		return err
+	}
+	for _, t := range tuples {
+		if _, err := rs.Insert(t); err != nil {
+			return fmt.Errorf("eval: materializing %s: %w", q.Name, err)
+		}
+	}
+	return nil
+}

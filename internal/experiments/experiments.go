@@ -1,0 +1,94 @@
+// Package experiments implements the measurement suite documented in
+// EXPERIMENTS.md. The source paper is a vision paper with no tables or
+// figures, so each experiment operationalizes one of its prose claims
+// (worked example, §3 open problems) and reports the measured shape. Both
+// cmd/citebench and the root bench_test.go drive these functions.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Table is one experiment's output: a header row and data rows, printed in
+// the aligned style of a paper table.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the prose claim from the paper this table checks
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if t.Claim != "" {
+		if _, err := fmt.Fprintf(w, "   claim: %s\n", t.Claim); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// timeIt measures fn, returning the wall-clock duration.
+func timeIt(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}
+
+// us formats a duration in microseconds.
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3)
+}
+
+// ms formats a duration in milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6)
+}
+
+// All runs every experiment and writes the tables.
+func All(w io.Writer) error {
+	runners := []func() (*Table, error){
+		E0PaperExample,
+		E1RewritingSearch,
+		E2CitationSize,
+		E3GenerationLatency,
+		E4Incremental,
+		E5MiniConVsBucket,
+		E6Fixity,
+		E7Coverage,
+		E8AnnotationOverhead,
+		E9ViewAdvisor,
+	}
+	for _, run := range runners {
+		t, err := run()
+		if err != nil {
+			return err
+		}
+		if err := t.Write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

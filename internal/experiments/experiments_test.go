@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestE0ExactPaperOutput(t *testing.T) {
+	tbl, err := E0PaperExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	row := tbl.Rows[0]
+	if row[1] != "(CV1(11)·CV3 + CV1(12)·CV3) +R (CV2·CV3)" {
+		t.Errorf("formal citation %q", row[1])
+	}
+	if row[2] != "CV2·CV3" {
+		t.Errorf("selected %q", row[2])
+	}
+}
+
+func TestE2ShapeMinConstantMaxLinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("size sweep in -short mode")
+	}
+	tbl, err := E2CitationSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		families := atoi(t, row[0])
+		minAtoms := atoi(t, row[1])
+		maxAtoms := atoi(t, row[3])
+		if minAtoms != 1 {
+			t.Errorf("|Family|=%d: min-size atoms = %d, want 1", families, minAtoms)
+		}
+		if maxAtoms != families {
+			t.Errorf("|Family|=%d: max-coverage atoms = %d, want %d", families, maxAtoms, families)
+		}
+	}
+}
+
+func TestE5SameRewritingsBucketMoreCandidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	tbl, err := E5MiniConVsBucket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		mini := atoi(t, row[3])
+		bucket := atoi(t, row[4])
+		if bucket < mini {
+			t.Errorf("bucket examined %d < minicon %d", bucket, mini)
+		}
+	}
+}
+
+func TestE7CoverageMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coverage sweep in -short mode")
+	}
+	tbl, err := E7Coverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, row := range tbl.Rows {
+		r, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < prev {
+			t.Errorf("coverage not monotone: %v then %v", prev, r)
+		}
+		prev = r
+	}
+	if prev != 1.0 {
+		t.Errorf("full view set coverage %v, want 1.0", prev)
+	}
+}
+
+func TestTableWrite(t *testing.T) {
+	tbl := &Table{ID: "EX", Title: "demo", Claim: "c", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== EX: demo ==", "claim: c", "a", "1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChainSetupShape(t *testing.T) {
+	cs, err := NewChainSetup(3, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 relations × 2 copies + 3 distractors.
+	if len(cs.Views) != 9 {
+		t.Errorf("views %d, want 9", len(cs.Views))
+	}
+	if len(cs.Query.Body) != 3 {
+		t.Errorf("query atoms %d", len(cs.Query.Body))
+	}
+	res, err := cs.Sys.Generator().Cite(cs.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RewritingsFound != 8 { // copies^joins = 2^3
+		t.Errorf("rewritings %d, want 8", res.Stats.RewritingsFound)
+	}
+	if len(res.Tuples) != 5 {
+		t.Errorf("answers %d, want 5", len(res.Tuples))
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("atoi(%q): %v", s, err)
+	}
+	return n
+}

@@ -1,0 +1,298 @@
+// Package format defines the structured citation record produced by
+// citation functions and renders it in the output formats the paper names
+// (§2: "human readable, BibTex, RIS or XML"), plus JSON.
+//
+// A Record maps citation fields (author, title, identifier, version, …) to
+// ordered, deduplicated value lists. Records form a commutative, idempotent
+// monoid under Merge, which is the "union" interpretation of the paper's
+// abstract combination operators.
+package format
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Conventional citation field names. Any string is a legal field; these
+// are the ones the built-in formatters give special treatment.
+const (
+	FieldAuthor     = "author"
+	FieldTitle      = "title"
+	FieldDatabase   = "database"
+	FieldIdentifier = "identifier"
+	FieldVersion    = "version"
+	FieldDate       = "date"
+	FieldURL        = "url"
+	FieldNote       = "note"
+)
+
+// fieldOrder fixes the rendering order of known fields; unknown fields
+// follow alphabetically.
+var fieldOrder = map[string]int{
+	FieldAuthor:     0,
+	FieldTitle:      1,
+	FieldDatabase:   2,
+	FieldIdentifier: 3,
+	FieldVersion:    4,
+	FieldDate:       5,
+	FieldURL:        6,
+	FieldNote:       7,
+}
+
+// Record is a structured citation: field → ordered distinct values.
+type Record map[string][]string
+
+// NewRecord builds a record from alternating field, value pairs.
+func NewRecord(pairs ...string) Record {
+	if len(pairs)%2 != 0 {
+		panic("format: NewRecord requires field/value pairs")
+	}
+	r := Record{}
+	for i := 0; i < len(pairs); i += 2 {
+		r.Add(pairs[i], pairs[i+1])
+	}
+	return r
+}
+
+// Add appends a value to a field unless already present.
+func (r Record) Add(field, value string) {
+	for _, v := range r[field] {
+		if v == value {
+			return
+		}
+	}
+	r[field] = append(r[field], value)
+}
+
+// Clone returns a deep copy.
+func (r Record) Clone() Record {
+	out := make(Record, len(r))
+	for f, vs := range r {
+		out[f] = append([]string(nil), vs...)
+	}
+	return out
+}
+
+// Merge unions o into a copy of r (per-field value-set union, preserving
+// r-first order). Merge is commutative up to value order and idempotent.
+func (r Record) Merge(o Record) Record {
+	out := r.Clone()
+	for f, vs := range o {
+		for _, v := range vs {
+			out.Add(f, v)
+		}
+	}
+	return out
+}
+
+// Intersect keeps only (field, value) pairs present in both records — the
+// "join" interpretation of the combination operators.
+func (r Record) Intersect(o Record) Record {
+	out := Record{}
+	for f, vs := range r {
+		for _, v := range vs {
+			for _, w := range o[f] {
+				if v == w {
+					out.Add(f, v)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Size counts (field, value) pairs.
+func (r Record) Size() int {
+	n := 0
+	for _, vs := range r {
+		n += len(vs)
+	}
+	return n
+}
+
+// IsEmpty reports whether the record has no values.
+func (r Record) IsEmpty() bool { return r.Size() == 0 }
+
+// Equal reports field-wise set equality.
+func (r Record) Equal(o Record) bool {
+	if len(normalize(r)) != len(normalize(o)) {
+		return false
+	}
+	rn, on := normalize(r), normalize(o)
+	for f, vs := range rn {
+		ws, ok := on[f]
+		if !ok || len(vs) != len(ws) {
+			return false
+		}
+		for i := range vs {
+			if vs[i] != ws[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func normalize(r Record) map[string][]string {
+	out := make(map[string][]string, len(r))
+	for f, vs := range r {
+		if len(vs) == 0 {
+			continue
+		}
+		sorted := append([]string(nil), vs...)
+		sort.Strings(sorted)
+		out[f] = sorted
+	}
+	return out
+}
+
+// Fields returns the record's field names in canonical rendering order.
+func (r Record) Fields() []string {
+	fields := make([]string, 0, len(r))
+	for f := range r {
+		if len(r[f]) > 0 {
+			fields = append(fields, f)
+		}
+	}
+	sort.Slice(fields, func(i, j int) bool {
+		oi, iok := fieldOrder[fields[i]]
+		oj, jok := fieldOrder[fields[j]]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return fields[i] < fields[j]
+		}
+	})
+	return fields
+}
+
+// Text renders a human-readable one-line citation in the conventional
+// field order, abbreviating author lists longer than etAlThreshold with
+// "et al." — the paper's §3 "size of citations" convention.
+const etAlThreshold = 3
+
+// Text renders the record as human-readable text.
+func Text(r Record) string {
+	var parts []string
+	for _, f := range r.Fields() {
+		vs := r[f]
+		switch f {
+		case FieldAuthor:
+			if len(vs) > etAlThreshold {
+				parts = append(parts, strings.Join(vs[:etAlThreshold], ", ")+" et al.")
+			} else {
+				parts = append(parts, strings.Join(vs, ", "))
+			}
+		case FieldVersion:
+			parts = append(parts, "version "+strings.Join(vs, ", "))
+		case FieldDate:
+			parts = append(parts, "accessed "+strings.Join(vs, ", "))
+		default:
+			parts = append(parts, strings.Join(vs, "; "))
+		}
+	}
+	return strings.Join(parts, ". ") + "."
+}
+
+// BibTeX renders the record as a @misc BibTeX entry with the given key.
+func BibTeX(r Record, key string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "@misc{%s,\n", key)
+	write := func(name string, vals []string, sep string) {
+		if len(vals) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "  %s = {%s},\n", name, strings.Join(vals, sep))
+	}
+	write("author", r[FieldAuthor], " and ")
+	write("title", r[FieldTitle], "; ")
+	write("howpublished", r[FieldDatabase], "; ")
+	write("note", append(append([]string(nil), r[FieldIdentifier]...), r[FieldNote]...), "; ")
+	write("edition", r[FieldVersion], "; ")
+	write("year", r[FieldDate], "; ")
+	write("url", r[FieldURL], " ")
+	for _, f := range r.Fields() {
+		if _, known := fieldOrder[f]; !known {
+			write(f, r[f], "; ")
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// RIS renders the record in RIS tagged format (TY DBASE … ER).
+func RIS(r Record) string {
+	var b strings.Builder
+	b.WriteString("TY  - DBASE\n")
+	tag := func(t string, vals []string) {
+		for _, v := range vals {
+			fmt.Fprintf(&b, "%s  - %s\n", t, v)
+		}
+	}
+	tag("AU", r[FieldAuthor])
+	tag("TI", r[FieldTitle])
+	tag("T2", r[FieldDatabase])
+	tag("ID", r[FieldIdentifier])
+	tag("ET", r[FieldVersion])
+	tag("DA", r[FieldDate])
+	tag("UR", r[FieldURL])
+	tag("N1", r[FieldNote])
+	for _, f := range r.Fields() {
+		if _, known := fieldOrder[f]; !known {
+			tag("KW", r[f])
+		}
+	}
+	b.WriteString("ER  - \n")
+	return b.String()
+}
+
+// xmlField is the XML encoding element for one field/value pair.
+type xmlField struct {
+	XMLName xml.Name `xml:"field"`
+	Name    string   `xml:"name,attr"`
+	Value   string   `xml:",chardata"`
+}
+
+type xmlCitation struct {
+	XMLName xml.Name `xml:"citation"`
+	Fields  []xmlField
+}
+
+// XML renders the record as a <citation> element with <field> children.
+func XML(r Record) (string, error) {
+	doc := xmlCitation{}
+	for _, f := range r.Fields() {
+		for _, v := range r[f] {
+			doc.Fields = append(doc.Fields, xmlField{Name: f, Value: v})
+		}
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("format: xml: %w", err)
+	}
+	return string(out), nil
+}
+
+// JSON renders the record as a canonical JSON object (fields sorted).
+func JSON(r Record) (string, error) {
+	m := make(map[string][]string, len(r))
+	for f, vs := range r {
+		if len(vs) > 0 {
+			m[f] = vs
+		}
+	}
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("format: json: %w", err)
+	}
+	return string(out), nil
+}

@@ -1,0 +1,204 @@
+package format
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() Record {
+	return NewRecord(
+		FieldAuthor, "Alice Smith",
+		FieldAuthor, "Bob Jones",
+		FieldDatabase, "GtoPdb",
+		FieldVersion, "2026.1",
+	)
+}
+
+func TestNewRecordPanicsOnOddPairs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRecord accepted odd pair count")
+		}
+	}()
+	NewRecord("author")
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	r := Record{}
+	r.Add(FieldAuthor, "A")
+	r.Add(FieldAuthor, "A")
+	r.Add(FieldAuthor, "B")
+	if len(r[FieldAuthor]) != 2 {
+		t.Errorf("authors %v", r[FieldAuthor])
+	}
+}
+
+func TestMergeUnion(t *testing.T) {
+	a := NewRecord(FieldAuthor, "A", FieldDatabase, "X")
+	b := NewRecord(FieldAuthor, "B", FieldAuthor, "A", FieldTitle, "T")
+	m := a.Merge(b)
+	if len(m[FieldAuthor]) != 2 || len(m[FieldDatabase]) != 1 || len(m[FieldTitle]) != 1 {
+		t.Errorf("merge %v", m)
+	}
+	// Merge does not mutate operands.
+	if len(a[FieldAuthor]) != 1 {
+		t.Error("Merge mutated receiver")
+	}
+	// Commutative up to set equality.
+	if !m.Equal(b.Merge(a)) {
+		t.Error("Merge not commutative")
+	}
+	// Idempotent.
+	if !m.Equal(m.Merge(m)) {
+		t.Error("Merge not idempotent")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := NewRecord(FieldAuthor, "A", FieldAuthor, "B", FieldDatabase, "X")
+	b := NewRecord(FieldAuthor, "B", FieldDatabase, "Y")
+	i := a.Intersect(b)
+	if len(i[FieldAuthor]) != 1 || i[FieldAuthor][0] != "B" {
+		t.Errorf("intersect authors %v", i[FieldAuthor])
+	}
+	if len(i[FieldDatabase]) != 0 {
+		t.Errorf("intersect database %v", i[FieldDatabase])
+	}
+}
+
+func TestSizeAndEmpty(t *testing.T) {
+	if sample().Size() != 4 {
+		t.Errorf("Size = %d", sample().Size())
+	}
+	if (Record{}).Size() != 0 || !(Record{}).IsEmpty() {
+		t.Error("empty record misreported")
+	}
+	if sample().IsEmpty() {
+		t.Error("non-empty record reported empty")
+	}
+}
+
+func TestEqualIgnoresOrder(t *testing.T) {
+	a := NewRecord(FieldAuthor, "A", FieldAuthor, "B")
+	b := NewRecord(FieldAuthor, "B", FieldAuthor, "A")
+	if !a.Equal(b) {
+		t.Error("order-insensitive equality failed")
+	}
+	c := NewRecord(FieldAuthor, "A")
+	if a.Equal(c) {
+		t.Error("different records equal")
+	}
+	// Empty value lists are ignored.
+	d := a.Clone()
+	d["empty"] = nil
+	if !a.Equal(d) {
+		t.Error("empty field affects equality")
+	}
+}
+
+func TestFieldsOrder(t *testing.T) {
+	r := NewRecord("zcustom", "1", FieldDate, "2026", FieldAuthor, "A")
+	f := r.Fields()
+	if f[0] != FieldAuthor || f[len(f)-1] != "zcustom" {
+		t.Errorf("Fields order %v", f)
+	}
+}
+
+func TestTextEtAl(t *testing.T) {
+	r := NewRecord(
+		FieldAuthor, "A", FieldAuthor, "B", FieldAuthor, "C", FieldAuthor, "D",
+	)
+	out := Text(r)
+	if !strings.Contains(out, "et al.") {
+		t.Errorf("no et-al abbreviation: %q", out)
+	}
+	if strings.Contains(out, "D") {
+		t.Errorf("4th author not elided: %q", out)
+	}
+	short := NewRecord(FieldAuthor, "A", FieldAuthor, "B")
+	if strings.Contains(Text(short), "et al.") {
+		t.Errorf("et al. applied to short list: %q", Text(short))
+	}
+}
+
+func TestTextFieldDecorations(t *testing.T) {
+	out := Text(sample())
+	if !strings.Contains(out, "version 2026.1") {
+		t.Errorf("version not decorated: %q", out)
+	}
+	if !strings.HasSuffix(out, ".") {
+		t.Errorf("no trailing period: %q", out)
+	}
+}
+
+func TestBibTeX(t *testing.T) {
+	out := BibTeX(sample(), "key1")
+	for _, want := range []string{"@misc{key1,", "author = {Alice Smith and Bob Jones}", "howpublished = {GtoPdb}", "edition = {2026.1}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("BibTeX missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "}") {
+		t.Errorf("unterminated entry:\n%s", out)
+	}
+	withCustom := sample()
+	withCustom.Add("curator", "Carol")
+	if !strings.Contains(BibTeX(withCustom, "k"), "curator = {Carol}") {
+		t.Error("custom field dropped from BibTeX")
+	}
+}
+
+func TestRIS(t *testing.T) {
+	out := RIS(sample())
+	if !strings.HasPrefix(out, "TY  - DBASE\n") {
+		t.Errorf("RIS prefix: %q", out)
+	}
+	if !strings.HasSuffix(out, "ER  - \n") {
+		t.Errorf("RIS suffix: %q", out)
+	}
+	if !strings.Contains(out, "AU  - Alice Smith\n") || !strings.Contains(out, "AU  - Bob Jones\n") {
+		t.Errorf("RIS authors: %q", out)
+	}
+}
+
+func TestXML(t *testing.T) {
+	out, err := XML(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `<field name="author">Alice Smith</field>`) {
+		t.Errorf("XML: %s", out)
+	}
+	// Escaping.
+	esc, err := XML(NewRecord(FieldTitle, "a < b & c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(esc, "a < b & c") {
+		t.Errorf("XML not escaped: %s", esc)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	out, err := JSON(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string][]string
+	if err := json.Unmarshal([]byte(out), &m); err != nil {
+		t.Fatalf("output not valid JSON: %v\n%s", err, out)
+	}
+	if len(m[FieldAuthor]) != 2 {
+		t.Errorf("JSON authors %v", m[FieldAuthor])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := sample()
+	c := a.Clone()
+	c.Add(FieldAuthor, "New")
+	if len(a[FieldAuthor]) != 2 {
+		t.Error("Clone shares slices")
+	}
+}

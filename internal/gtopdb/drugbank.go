@@ -1,0 +1,88 @@
+package gtopdb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// DrugBankConfig parameterizes the DrugBank-like generator. DrugBank is a
+// relational database combining chemical, pharmacological and
+// pharmaceutical data; its documented citation convention includes a drug
+// accession identifier and the database release.
+type DrugBankConfig struct {
+	Drugs           int
+	InteractionsPer int
+	PathwaysPerDrug int
+	Seed            int64
+}
+
+// DefaultDrugBankConfig returns a small instance.
+func DefaultDrugBankConfig() DrugBankConfig {
+	return DrugBankConfig{Drugs: 150, InteractionsPer: 3, PathwaysPerDrug: 2, Seed: 1}
+}
+
+// DrugBankSchema returns Drug(DID, Accession, DName, Category),
+// Interaction(DID1, DID2, Effect), Pathway(DID, PName).
+func DrugBankSchema() *schema.Schema {
+	s := schema.New()
+	s.MustAdd(schema.MustRelation("Drug", []schema.Attribute{
+		{Name: "DID", Kind: value.KindInt},
+		{Name: "Accession", Kind: value.KindString},
+		{Name: "DName", Kind: value.KindString},
+		{Name: "Category", Kind: value.KindString},
+	}, "DID"))
+	s.MustAdd(schema.MustRelation("Interaction", []schema.Attribute{
+		{Name: "DID1", Kind: value.KindInt},
+		{Name: "DID2", Kind: value.KindInt},
+		{Name: "Effect", Kind: value.KindString},
+	}))
+	s.MustAdd(schema.MustRelation("Pathway", []schema.Attribute{
+		{Name: "DID", Kind: value.KindInt},
+		{Name: "PName", Kind: value.KindString},
+	}))
+	return s
+}
+
+var (
+	drugStems  = []string{"pril", "sartan", "olol", "statin", "mycin", "cillin", "azole", "prazole", "mab", "nib"}
+	categories = []string{"antihypertensive", "antibiotic", "antineoplastic", "analgesic", "anticoagulant"}
+	effects    = []string{"increases serum concentration", "decreases efficacy", "raises bleeding risk", "additive hypotension"}
+	pathways   = []string{"MAPK signalling", "apoptosis", "cell cycle", "NF-kB signalling", "lipid metabolism"}
+)
+
+// GenerateDrugBank produces a DrugBank-like database instance.
+func GenerateDrugBank(cfg DrugBankConfig) *storage.Database {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := storage.NewDatabase(DrugBankSchema())
+	drug := db.Relation("Drug")
+	interaction := db.Relation("Interaction")
+	pathway := db.Relation("Pathway")
+
+	for did := 1; did <= cfg.Drugs; did++ {
+		name := fmt.Sprintf("%s%s", lastNames[rng.Intn(len(lastNames))][:3], drugStems[rng.Intn(len(drugStems))])
+		drug.MustInsert(value.Int(int64(did)),
+			value.String(fmt.Sprintf("DB%05d", did)),
+			value.String(name),
+			value.String(categories[rng.Intn(len(categories))]))
+		for k := 0; k < cfg.PathwaysPerDrug; k++ {
+			pathway.MustInsert(value.Int(int64(did)),
+				value.String(pathways[rng.Intn(len(pathways))]))
+		}
+	}
+	for did := 1; did <= cfg.Drugs; did++ {
+		for k := 0; k < cfg.InteractionsPer; k++ {
+			other := 1 + rng.Intn(cfg.Drugs)
+			if other == did {
+				continue
+			}
+			interaction.MustInsert(value.Int(int64(did)), value.Int(int64(other)),
+				value.String(effects[rng.Intn(len(effects))]))
+		}
+	}
+	db.BuildIndexes()
+	return db
+}

@@ -1,0 +1,199 @@
+// Package policy interprets citation expressions under the owner-specified
+// combination functions of the paper: the abstract operators `·`, `+`, `+R`
+// and `Agg` "are policies to be specified by the database owner" (§2). The
+// package provides the interpretations the paper proposes — union and join
+// for `·`, `+` and `Agg`; union or minimum-estimated-size for `+R` — and
+// applies them to citeexpr trees, resolving citation atoms to records via a
+// caller-supplied Resolver.
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/citeexpr"
+	"repro/internal/format"
+)
+
+// Combine selects the combination function for `·`, `+`, or `Agg`.
+type Combine int
+
+// Combination functions for the n-ary operators.
+const (
+	// Union merges the records field-wise (the paper's "union").
+	Union Combine = iota
+	// Join keeps only field/value pairs common to all operands (the
+	// paper's "join").
+	Join
+	// First keeps the first operand's record (a deterministic "pick
+	// one" policy, natural for `+` when any witness suffices).
+	First
+)
+
+// String names the combination function.
+func (c Combine) String() string {
+	switch c {
+	case Union:
+		return "union"
+	case Join:
+		return "join"
+	case First:
+		return "first"
+	default:
+		return fmt.Sprintf("combine(%d)", int(c))
+	}
+}
+
+// Select chooses among rewriting branches for `+R`.
+type Select int
+
+// Selection strategies for `+R`.
+const (
+	// MinSize picks the branch with the fewest distinct citation atoms
+	// (the paper's "minimum estimated size" ordering).
+	MinSize Select = iota
+	// AllBranches combines every branch with the `+` policy instead of
+	// selecting one.
+	AllBranches
+	// MaxCoverage picks the branch with the most distinct citation atoms
+	// (the "most comprehensive" ordering the paper mentions).
+	MaxCoverage
+)
+
+// String names the selection strategy.
+func (s Select) String() string {
+	switch s {
+	case MinSize:
+		return "min-size"
+	case AllBranches:
+		return "all-branches"
+	case MaxCoverage:
+		return "max-coverage"
+	default:
+		return fmt.Sprintf("select(%d)", int(s))
+	}
+}
+
+// Policy fixes the interpretation of the four abstract operators.
+type Policy struct {
+	Joint Combine // `·`
+	Alt   Combine // `+`
+	AltR  Select  // `+R`
+	Agg   Combine // result-level aggregation
+}
+
+// Default returns the paper's closing-example policy: union for `·`, `+`
+// and Agg, minimum estimated size for `+R`.
+func Default() Policy {
+	return Policy{Joint: Union, Alt: Union, AltR: MinSize, Agg: Union}
+}
+
+// String summarizes the policy.
+func (p Policy) String() string {
+	return fmt.Sprintf("joint=%s alt=%s altR=%s agg=%s", p.Joint, p.Alt, p.AltR, p.Agg)
+}
+
+// Resolver resolves a citation atom to its concrete citation record (by
+// running the view's citation queries with the atom's parameter values and
+// applying the citation function).
+type Resolver func(citeexpr.Atom) (format.Record, error)
+
+// SelectBranch applies the +R selection to the children of an AltR node,
+// returning the chosen sub-expression. With AllBranches it returns an Alt
+// over all children. Size ties break toward the earlier branch, which is
+// deterministic because the citation generator orders rewritings.
+func (p Policy) SelectBranch(children []citeexpr.Expr) citeexpr.Expr {
+	if len(children) == 0 {
+		return citeexpr.Alt{}
+	}
+	switch p.AltR {
+	case AllBranches:
+		return citeexpr.Alt{Children: children}
+	case MaxCoverage:
+		best := children[0]
+		bestSize := citeexpr.Size(best)
+		for _, c := range children[1:] {
+			if s := citeexpr.Size(c); s > bestSize {
+				best, bestSize = c, s
+			}
+		}
+		return best
+	default: // MinSize
+		best := children[0]
+		bestSize := citeexpr.Size(best)
+		for _, c := range children[1:] {
+			if s := citeexpr.Size(c); s < bestSize {
+				best, bestSize = c, s
+			}
+		}
+		return best
+	}
+}
+
+// combine folds records under a combination function. An empty operand
+// list yields an empty record.
+func combine(mode Combine, records []format.Record) format.Record {
+	if len(records) == 0 {
+		return format.Record{}
+	}
+	switch mode {
+	case First:
+		return records[0].Clone()
+	case Join:
+		out := records[0].Clone()
+		for _, r := range records[1:] {
+			out = out.Intersect(r)
+		}
+		return out
+	default: // Union
+		out := format.Record{}
+		for _, r := range records {
+			out = out.Merge(r)
+		}
+		return out
+	}
+}
+
+// Eval interprets a citation expression under the policy, resolving atoms
+// with resolve. AltR nodes are first reduced with SelectBranch; Agg nodes
+// combine children with the Agg function; Joint and Alt use their
+// respective functions.
+func (p Policy) Eval(e citeexpr.Expr, resolve Resolver) (format.Record, error) {
+	switch n := e.(type) {
+	case citeexpr.Atom:
+		return resolve(n)
+	case citeexpr.Joint:
+		records, err := p.evalAll(n.Children, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return combine(p.Joint, records), nil
+	case citeexpr.Alt:
+		records, err := p.evalAll(n.Children, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return combine(p.Alt, records), nil
+	case citeexpr.AltR:
+		return p.Eval(p.SelectBranch(n.Children), resolve)
+	case citeexpr.Agg:
+		records, err := p.evalAll(n.Children, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return combine(p.Agg, records), nil
+	default:
+		return nil, fmt.Errorf("policy: unknown expression node %T", e)
+	}
+}
+
+func (p Policy) evalAll(children []citeexpr.Expr, resolve Resolver) ([]format.Record, error) {
+	records := make([]format.Record, 0, len(children))
+	for _, c := range children {
+		r, err := p.Eval(c, resolve)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, r)
+	}
+	return records, nil
+}

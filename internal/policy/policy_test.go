@@ -1,0 +1,198 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/citeexpr"
+	"repro/internal/format"
+	"repro/internal/value"
+)
+
+// testResolver maps atoms to fixed records.
+func testResolver(t *testing.T) Resolver {
+	t.Helper()
+	return func(a citeexpr.Atom) (format.Record, error) {
+		switch a.View {
+		case "V1":
+			return format.NewRecord(
+				format.FieldAuthor, "Curator-"+a.Params[0].String(),
+				format.FieldDatabase, "GtoPdb",
+			), nil
+		case "V2", "V3":
+			return format.NewRecord(format.FieldDatabase, "GtoPdb"), nil
+		default:
+			return nil, errors.New("unknown view " + a.View)
+		}
+	}
+}
+
+func paperExpr() citeexpr.Expr {
+	a := citeexpr.NewAtom("V1", value.Int(11))
+	b := citeexpr.NewAtom("V1", value.Int(12))
+	c := citeexpr.NewAtom("V3")
+	v2 := citeexpr.NewAtom("V2")
+	return citeexpr.AltR{Children: []citeexpr.Expr{
+		citeexpr.Alt{Children: []citeexpr.Expr{
+			citeexpr.Joint{Children: []citeexpr.Expr{a, c}},
+			citeexpr.Joint{Children: []citeexpr.Expr{b, c}},
+		}},
+		citeexpr.Joint{Children: []citeexpr.Expr{v2, c}},
+	}}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	p := Default()
+	if p.Joint != Union || p.Alt != Union || p.AltR != MinSize || p.Agg != Union {
+		t.Errorf("Default() = %+v", p)
+	}
+	if s := p.String(); !strings.Contains(s, "min-size") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestSelectBranchMinSize(t *testing.T) {
+	p := Default()
+	e := paperExpr().(citeexpr.AltR)
+	sel := p.SelectBranch(e.Children)
+	if citeexpr.Size(sel) != 2 {
+		t.Errorf("min-size selected %s (size %d)", sel, citeexpr.Size(sel))
+	}
+}
+
+func TestSelectBranchMaxCoverage(t *testing.T) {
+	p := Default()
+	p.AltR = MaxCoverage
+	e := paperExpr().(citeexpr.AltR)
+	sel := p.SelectBranch(e.Children)
+	if citeexpr.Size(sel) != 3 {
+		t.Errorf("max-coverage selected %s (size %d)", sel, citeexpr.Size(sel))
+	}
+}
+
+func TestSelectBranchAllBranches(t *testing.T) {
+	p := Default()
+	p.AltR = AllBranches
+	e := paperExpr().(citeexpr.AltR)
+	sel := p.SelectBranch(e.Children)
+	if citeexpr.Size(sel) != 4 {
+		t.Errorf("all-branches kept %s (size %d), want all 4 atoms", sel, citeexpr.Size(sel))
+	}
+}
+
+func TestSelectBranchEmptyAndTies(t *testing.T) {
+	p := Default()
+	if sel := p.SelectBranch(nil); !citeexpr.Equal(sel, citeexpr.Alt{}) {
+		t.Errorf("empty selection = %s", sel)
+	}
+	// Tie: first branch wins deterministically.
+	a := citeexpr.Expr(citeexpr.NewAtom("V2"))
+	b := citeexpr.Expr(citeexpr.NewAtom("V3"))
+	if sel := p.SelectBranch([]citeexpr.Expr{a, b}); !citeexpr.Equal(sel, a) {
+		t.Errorf("tie-break selected %s, want first", sel)
+	}
+}
+
+func TestEvalPaperExampleMinSize(t *testing.T) {
+	p := Default()
+	rec, err := p.Eval(paperExpr(), testResolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec[format.FieldAuthor]) != 0 {
+		t.Errorf("min-size record has authors: %v", rec)
+	}
+	if len(rec[format.FieldDatabase]) != 1 {
+		t.Errorf("database field %v", rec[format.FieldDatabase])
+	}
+}
+
+func TestEvalPaperExampleMaxCoverage(t *testing.T) {
+	p := Default()
+	p.AltR = MaxCoverage
+	rec, err := p.Eval(paperExpr(), testResolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	authors := rec[format.FieldAuthor]
+	if len(authors) != 2 {
+		t.Fatalf("authors %v, want both curators", authors)
+	}
+}
+
+func TestEvalJointJoinIntersects(t *testing.T) {
+	p := Policy{Joint: Join, Alt: Union, AltR: MinSize, Agg: Union}
+	e := citeexpr.Joint{Children: []citeexpr.Expr{
+		citeexpr.NewAtom("V1", value.Int(11)),
+		citeexpr.NewAtom("V2"),
+	}}
+	rec, err := p.Eval(e, testResolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the shared database field survives the join.
+	if len(rec[format.FieldAuthor]) != 0 || len(rec[format.FieldDatabase]) != 1 {
+		t.Errorf("join record %v", rec)
+	}
+}
+
+func TestEvalAltFirst(t *testing.T) {
+	p := Policy{Joint: Union, Alt: First, AltR: MinSize, Agg: Union}
+	e := citeexpr.Alt{Children: []citeexpr.Expr{
+		citeexpr.NewAtom("V1", value.Int(11)),
+		citeexpr.NewAtom("V1", value.Int(12)),
+	}}
+	rec, err := p.Eval(e, testResolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec[format.FieldAuthor]) != 1 || rec[format.FieldAuthor][0] != "Curator-11" {
+		t.Errorf("first-policy record %v", rec)
+	}
+}
+
+func TestEvalAgg(t *testing.T) {
+	p := Default()
+	e := citeexpr.Agg{Children: []citeexpr.Expr{
+		citeexpr.NewAtom("V1", value.Int(11)),
+		citeexpr.NewAtom("V1", value.Int(12)),
+	}}
+	rec, err := p.Eval(e, testResolver(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec[format.FieldAuthor]) != 2 {
+		t.Errorf("agg record %v", rec)
+	}
+}
+
+func TestEvalResolverErrorPropagates(t *testing.T) {
+	p := Default()
+	e := citeexpr.Joint{Children: []citeexpr.Expr{citeexpr.NewAtom("Unknown")}}
+	if _, err := p.Eval(e, testResolver(t)); err == nil {
+		t.Error("resolver error swallowed")
+	}
+}
+
+func TestEvalEmptyNodes(t *testing.T) {
+	p := Default()
+	for _, e := range []citeexpr.Expr{citeexpr.Alt{}, citeexpr.Joint{}, citeexpr.Agg{}, citeexpr.AltR{}} {
+		rec, err := p.Eval(e, testResolver(t))
+		if err != nil {
+			t.Fatalf("Eval(%T): %v", e, err)
+		}
+		if !rec.IsEmpty() {
+			t.Errorf("Eval(%T) = %v, want empty", e, rec)
+		}
+	}
+}
+
+func TestCombineModeStrings(t *testing.T) {
+	if Union.String() != "union" || Join.String() != "join" || First.String() != "first" {
+		t.Error("Combine names wrong")
+	}
+	if MinSize.String() != "min-size" || AllBranches.String() != "all-branches" || MaxCoverage.String() != "max-coverage" {
+		t.Error("Select names wrong")
+	}
+}

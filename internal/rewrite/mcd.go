@@ -1,0 +1,248 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+)
+
+// mcd is a MiniCon description: a view together with the set of query
+// subgoals it covers and the variable mapping φ from query variables to
+// view terms. For the bucket algorithm the closure conditions are skipped
+// and every entry covers exactly one subgoal.
+type mcd struct {
+	view  *cq.Query          // renamed-apart copy of the view
+	name  string             // original view name
+	goals []int              // covered subgoal indices, sorted
+	phi   map[string]cq.Term // query var -> view term (variable or constant)
+	id    int
+}
+
+func (m *mcd) signature() string {
+	var b strings.Builder
+	b.WriteString(m.name)
+	b.WriteByte('|')
+	for _, g := range m.goals {
+		fmt.Fprintf(&b, "%d,", g)
+	}
+	b.WriteByte('|')
+	keys := make([]string, 0, len(m.phi))
+	for k := range m.phi {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString("->")
+		b.WriteString(m.phi[k].String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// formMCDs builds all MiniCon descriptions (closure=true) or bucket entries
+// (closure=false) for q over the views.
+func formMCDs(q *cq.Query, views []*cq.Query, closure bool) []*mcd {
+	qHead := make(map[string]bool)
+	for _, v := range q.HeadVars() {
+		qHead[v] = true
+	}
+	// goalsOf[x] lists the subgoal indices where query variable x occurs.
+	goalsOf := make(map[string][]int)
+	for i, a := range q.Body {
+		for _, v := range a.Vars(nil) {
+			goalsOf[v] = append(goalsOf[v], i)
+		}
+	}
+	var out []*mcd
+	seen := make(map[string]bool)
+	id := 0
+	for vi, v := range views {
+		ren := v.Rename(fmt.Sprintf("v%d_", vi))
+		headVars := make(map[string]bool)
+		for _, h := range ren.Head {
+			if h.IsVar {
+				headVars[h.Name] = true
+			}
+		}
+		for gi := range q.Body {
+			for ai := range ren.Body {
+				phi := make(map[string]cq.Term)
+				if !mapSubgoal(q.Body[gi], ren.Body[ai], phi, qHead, headVars) {
+					continue
+				}
+				goals := map[int]bool{gi: true}
+				ok := true
+				if closure {
+					ok = closeMCD(q, ren, phi, goals, qHead, headVars, goalsOf)
+				}
+				if !ok {
+					continue
+				}
+				m := &mcd{view: ren, name: v.Name, phi: phi, id: id}
+				for g := range goals {
+					m.goals = append(m.goals, g)
+				}
+				sort.Ints(m.goals)
+				sig := m.signature()
+				if seen[sig] {
+					continue
+				}
+				seen[sig] = true
+				id++
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// mapSubgoal attempts to extend phi so that query subgoal g maps onto view
+// atom a, enforcing the MiniCon distinguished-variable condition C1: a
+// query head variable must map to a view head variable (never to a view
+// existential variable or through an unmatchable constant).
+func mapSubgoal(g, a cq.Atom, phi map[string]cq.Term, qHead, vHead map[string]bool) bool {
+	if g.Predicate != a.Predicate || len(g.Terms) != len(a.Terms) {
+		return false
+	}
+	for i := range g.Terms {
+		gt, at := g.Terms[i], a.Terms[i]
+		switch {
+		case !gt.IsVar && !at.IsVar:
+			if gt.Const != at.Const {
+				return false
+			}
+		case !gt.IsVar && at.IsVar:
+			// The view leaves this position free; the rewriting can pin
+			// it to the constant only through a distinguished variable.
+			if !vHead[at.Name] {
+				return false
+			}
+			// Record the constraint as a pseudo-mapping keyed by the
+			// view variable: handled when constructing atom arguments
+			// via constOf.
+			key := constKey(at.Name)
+			if prev, ok := phi[key]; ok {
+				if !prev.Equal(gt) {
+					return false
+				}
+			} else {
+				phi[key] = gt
+			}
+		case gt.IsVar && !at.IsVar:
+			// The view pins the query variable to a constant.
+			if qHead[gt.Name] {
+				return false // cannot output a pinned head variable
+			}
+			if prev, ok := phi[gt.Name]; ok {
+				if !prev.Equal(cq.Const(at.Const)) {
+					return false
+				}
+			} else {
+				phi[gt.Name] = cq.Const(at.Const)
+			}
+		default:
+			if qHead[gt.Name] && !vHead[at.Name] {
+				return false // C1
+			}
+			tgt := cq.Var(at.Name)
+			if prev, ok := phi[gt.Name]; ok {
+				if !prev.Equal(tgt) {
+					return false
+				}
+			} else {
+				phi[gt.Name] = tgt
+			}
+		}
+	}
+	return true
+}
+
+// constKey namespaces view-variable constant constraints inside phi so
+// they cannot collide with query variable names.
+func constKey(viewVar string) string { return "\x00const\x00" + viewVar }
+
+// closeMCD enforces MiniCon condition C2: if a query variable x maps to a
+// view existential variable, every query subgoal mentioning x must also be
+// covered by this MCD (mapped into the same view instance). The function
+// extends phi and goals by backtracking over candidate view atoms; it
+// reports whether a consistent closure exists. phi and goals are mutated
+// only on success paths; on failure their contents are unspecified and the
+// caller discards them.
+func closeMCD(q *cq.Query, view *cq.Query, phi map[string]cq.Term, goals map[int]bool, qHead, vHead map[string]bool, goalsOf map[string][]int) bool {
+	for {
+		pending := -1
+		for x, t := range phi {
+			if strings.HasPrefix(x, "\x00const\x00") {
+				continue
+			}
+			if !t.IsVar || vHead[t.Name] {
+				continue
+			}
+			for _, g := range goalsOf[x] {
+				if !goals[g] {
+					pending = g
+					break
+				}
+			}
+			if pending >= 0 {
+				break
+			}
+		}
+		if pending < 0 {
+			return true
+		}
+		// Try to map the pending subgoal into some view atom, then
+		// recurse on a copy so failed branches don't corrupt state.
+		for ai := range view.Body {
+			phiCopy := clonePhi(phi)
+			if !mapSubgoal(q.Body[pending], view.Body[ai], phiCopy, qHead, vHead) {
+				continue
+			}
+			goalsCopy := cloneGoals(goals)
+			goalsCopy[pending] = true
+			if closeMCD(q, view, phiCopy, goalsCopy, qHead, vHead, goalsOf) {
+				replacePhi(phi, phiCopy)
+				replaceGoals(goals, goalsCopy)
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func clonePhi(phi map[string]cq.Term) map[string]cq.Term {
+	out := make(map[string]cq.Term, len(phi))
+	for k, v := range phi {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneGoals(goals map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(goals))
+	for k, v := range goals {
+		out[k] = v
+	}
+	return out
+}
+
+func replacePhi(dst, src map[string]cq.Term) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func replaceGoals(dst, src map[int]bool) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}

@@ -1,0 +1,209 @@
+package rewrite
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/contain"
+	"repro/internal/cq"
+	"repro/internal/eval"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// randomInstance builds a database with `nrel` binary relations filled
+// with random small-domain tuples, so joins hit frequently.
+func randomInstance(rng *rand.Rand, nrel, tuples, domain int) *storage.Database {
+	s := schema.New()
+	for i := 0; i < nrel; i++ {
+		s.MustAdd(schema.MustRelation(fmt.Sprintf("R%d", i), []schema.Attribute{
+			{Name: "A", Kind: value.KindInt},
+			{Name: "B", Kind: value.KindInt},
+		}))
+	}
+	db := storage.NewDatabase(s)
+	for i := 0; i < nrel; i++ {
+		rel := fmt.Sprintf("R%d", i)
+		for t := 0; t < tuples; t++ {
+			_ = db.Insert(rel, value.Int(int64(rng.Intn(domain))), value.Int(int64(rng.Intn(domain))))
+		}
+	}
+	db.BuildIndexes()
+	return db
+}
+
+// randomChainQuery builds a chain query of random length over the
+// relations, optionally projecting only the endpoints.
+func randomChainQuery(rng *rand.Rand, nrel int) *cq.Query {
+	k := 1 + rng.Intn(3)
+	q := &cq.Query{Name: "Q"}
+	for i := 0; i < k; i++ {
+		rel := fmt.Sprintf("R%d", rng.Intn(nrel))
+		q.Body = append(q.Body, cq.NewAtom(rel, cq.Var(fmt.Sprintf("X%d", i)), cq.Var(fmt.Sprintf("X%d", i+1))))
+	}
+	q.Head = []cq.Term{cq.Var("X0"), cq.Var(fmt.Sprintf("X%d", k))}
+	return q
+}
+
+// randomViews builds a mix of full-relation views, projection views, and
+// join views.
+func randomViews(rng *rand.Rand, nrel int) []*cq.Query {
+	var out []*cq.Query
+	id := 0
+	for i := 0; i < nrel; i++ {
+		out = append(out, cq.MustParse(fmt.Sprintf("PV%d(A, B) :- R%d(A, B)", id, i)))
+		id++
+		if rng.Intn(2) == 0 {
+			out = append(out, cq.MustParse(fmt.Sprintf("PV%d(A) :- R%d(A, B)", id, i)))
+			id++
+		}
+		if rng.Intn(2) == 0 {
+			j := rng.Intn(nrel)
+			out = append(out, cq.MustParse(fmt.Sprintf("PV%d(A, C) :- R%d(A, B), R%d(B, C)", id, i, j)))
+			id++
+		}
+	}
+	return out
+}
+
+// TestRewritingEvaluationAgreesWithDirect is the central soundness
+// property of the whole pipeline: for random instances, random chain
+// queries, and random view sets, evaluating ANY certified rewriting over
+// the materialized view instances yields exactly the same answers as
+// evaluating the original query over the base database.
+func TestRewritingEvaluationAgreesWithDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(20170514))
+	const trials = 60
+	checked := 0
+	for trial := 0; trial < trials; trial++ {
+		nrel := 1 + rng.Intn(3)
+		db := randomInstance(rng, nrel, 15, 5)
+		q := randomChainQuery(rng, nrel)
+		views := randomViews(rng, nrel)
+		res, err := Rewrite(q, views, Options{MaxRewritings: 8})
+		if err != nil {
+			t.Fatalf("trial %d: Rewrite: %v", trial, err)
+		}
+		if len(res.Rewritings) == 0 {
+			continue
+		}
+		direct, err := eval.Eval(db, q)
+		if err != nil {
+			t.Fatalf("trial %d: direct eval: %v", trial, err)
+		}
+		directSet := map[string]bool{}
+		for _, tp := range direct {
+			directSet[tp.Key()] = true
+		}
+		// Materialize every view once.
+		inst := eval.Relations{}
+		for _, v := range views {
+			rs := schema.MustRelation(v.Name, headAttrs(v))
+			mat := storage.NewRelation(rs)
+			if err := eval.Materialize(db, v, mat); err != nil {
+				t.Fatalf("trial %d: materialize %s: %v", trial, v.Name, err)
+			}
+			for c := 0; c < rs.Arity(); c++ {
+				mat.BuildIndex(c)
+			}
+			inst[v.Name] = mat
+		}
+		for _, rw := range res.Rewritings {
+			got, err := eval.Eval(inst, rw.AsQuery("RW"))
+			if err != nil {
+				t.Fatalf("trial %d: rewriting eval: %v", trial, err)
+			}
+			if len(got) != len(direct) {
+				t.Fatalf("trial %d: rewriting %s returned %d rows, direct %d\nquery: %s",
+					trial, rw, len(got), len(direct), q)
+			}
+			for _, tp := range got {
+				if !directSet[tp.Key()] {
+					t.Fatalf("trial %d: rewriting %s produced extra row %s", trial, rw, tp)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no rewriting was ever checked; generator too restrictive")
+	}
+	t.Logf("verified %d rewriting evaluations against direct evaluation", checked)
+}
+
+func headAttrs(v *cq.Query) []schema.Attribute {
+	attrs := make([]schema.Attribute, len(v.Head))
+	for i := range v.Head {
+		attrs[i] = schema.Attribute{Name: fmt.Sprintf("c%d", i), Kind: value.KindInt}
+	}
+	return attrs
+}
+
+// TestRewritingsAlwaysCertified re-checks, on random inputs, that every
+// returned rewriting's expansion is equivalent to the query (the internal
+// certification must never leak an unequivalent candidate).
+func TestRewritingsAlwaysCertified(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		nrel := 1 + rng.Intn(3)
+		q := randomChainQuery(rng, nrel)
+		views := randomViews(rng, nrel)
+		byName := map[string]*cq.Query{}
+		for _, v := range views {
+			byName[v.Name] = v
+		}
+		for _, method := range []Method{MethodMiniCon, MethodBucket} {
+			res, err := Rewrite(q, views, Options{Method: method, MaxRewritings: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rw := range res.Rewritings {
+				exp, err := Expand(rw, byName)
+				if err != nil {
+					t.Fatalf("Expand(%s): %v", rw, err)
+				}
+				if !contain.Equivalent(exp, q) {
+					t.Fatalf("trial %d (%v): uncertified rewriting %s for %s", trial, method, rw, q)
+				}
+			}
+		}
+	}
+}
+
+// TestMiniConSubsetOfBucketResults verifies that on random inputs the two
+// algorithms certify identical rewriting sets (by signature).
+func TestMiniConMatchesBucketOnRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		nrel := 1 + rng.Intn(2)
+		q := randomChainQuery(rng, nrel)
+		views := randomViews(rng, nrel)
+		mini, err := Rewrite(q, views, Options{Method: MethodMiniCon})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bucket, err := Rewrite(q, views, Options{Method: MethodBucket})
+		if err != nil {
+			t.Fatal(err)
+		}
+		miniSigs := map[string]bool{}
+		for _, rw := range mini.Rewritings {
+			miniSigs[rw.signature()] = true
+		}
+		bucketSigs := map[string]bool{}
+		for _, rw := range bucket.Rewritings {
+			bucketSigs[rw.signature()] = true
+		}
+		if len(miniSigs) != len(bucketSigs) {
+			t.Fatalf("trial %d: minicon %d rewritings, bucket %d\nquery %s",
+				trial, len(miniSigs), len(bucketSigs), q)
+		}
+		for sig := range miniSigs {
+			if !bucketSigs[sig] {
+				t.Fatalf("trial %d: rewriting in minicon but not bucket", trial)
+			}
+		}
+	}
+}

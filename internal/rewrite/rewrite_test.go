@@ -1,0 +1,296 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/contain"
+	"repro/internal/cq"
+)
+
+// paperViews returns V1, V2, V3 from the paper's §2 example (λ-parameters
+// are irrelevant to rewriting and omitted here).
+func paperViews(t *testing.T) []*cq.Query {
+	t.Helper()
+	return []*cq.Query{
+		cq.MustParse("V1(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+		cq.MustParse("V2(FID, FName, Desc) :- Family(FID, FName, Desc)"),
+		cq.MustParse("V3(FID, Text) :- FamilyIntro(FID, Text)"),
+	}
+}
+
+func paperQuery(t *testing.T) *cq.Query {
+	t.Helper()
+	return cq.MustParse("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+}
+
+func usesViews(r *Rewriting, names ...string) bool {
+	if len(r.ViewAtoms) != len(names) {
+		return false
+	}
+	used := make(map[string]int)
+	for _, va := range r.ViewAtoms {
+		used[va.ViewName]++
+	}
+	want := make(map[string]int)
+	for _, n := range names {
+		want[n]++
+	}
+	if len(used) != len(want) {
+		return false
+	}
+	for n, c := range want {
+		if used[n] != c {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPaperExampleRewritings(t *testing.T) {
+	for _, method := range []Method{MethodMiniCon, MethodBucket} {
+		t.Run(method.String(), func(t *testing.T) {
+			res, err := Rewrite(paperQuery(t), paperViews(t), Options{Method: method})
+			if err != nil {
+				t.Fatalf("Rewrite: %v", err)
+			}
+			if len(res.Rewritings) != 2 {
+				for _, r := range res.Rewritings {
+					t.Logf("got rewriting: %s", r)
+				}
+				t.Fatalf("got %d rewritings, want 2 (Q1 via V1,V3 and Q2 via V2,V3)", len(res.Rewritings))
+			}
+			var sawV1V3, sawV2V3 bool
+			for _, r := range res.Rewritings {
+				if r.IsPartial() {
+					t.Errorf("unexpected partial rewriting %s", r)
+				}
+				switch {
+				case usesViews(r, "V1", "V3"):
+					sawV1V3 = true
+				case usesViews(r, "V2", "V3"):
+					sawV2V3 = true
+				default:
+					t.Errorf("unexpected rewriting %s", r)
+				}
+			}
+			if !sawV1V3 || !sawV2V3 {
+				t.Errorf("missing expected rewriting: V1V3=%v V2V3=%v", sawV1V3, sawV2V3)
+			}
+		})
+	}
+}
+
+func TestRewritingsAreEquivalent(t *testing.T) {
+	q := paperQuery(t)
+	views := paperViews(t)
+	byName := map[string]*cq.Query{}
+	for _, v := range views {
+		byName[v.Name] = v
+	}
+	res, err := Rewrite(q, views, Options{})
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	for _, r := range res.Rewritings {
+		exp, err := Expand(r, byName)
+		if err != nil {
+			t.Fatalf("Expand(%s): %v", r, err)
+		}
+		if !contain.Equivalent(exp, q) {
+			t.Errorf("expansion of %s not equivalent to query", r)
+		}
+	}
+}
+
+func TestNoRewritingWhenViewsInsufficient(t *testing.T) {
+	q := paperQuery(t)
+	views := []*cq.Query{cq.MustParse("V3(FID, Text) :- FamilyIntro(FID, Text)")}
+	res, err := Rewrite(q, views, Options{})
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if len(res.Rewritings) != 0 {
+		t.Fatalf("got %d rewritings, want 0", len(res.Rewritings))
+	}
+}
+
+func TestPartialRewriting(t *testing.T) {
+	q := paperQuery(t)
+	views := []*cq.Query{cq.MustParse("V3(FID, Text) :- FamilyIntro(FID, Text)")}
+	res, err := Rewrite(q, views, Options{AllowPartial: true})
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	var found bool
+	for _, r := range res.Rewritings {
+		if r.IsPartial() && len(r.ViewAtoms) == 1 && r.ViewAtoms[0].ViewName == "V3" {
+			found = true
+		}
+	}
+	if !found {
+		for _, r := range res.Rewritings {
+			t.Logf("got: %s (partial=%v)", r, r.IsPartial())
+		}
+		t.Fatal("expected a partial rewriting using V3 with Family as residual base atom")
+	}
+}
+
+func TestExistentialJoinVariableRequiresClosure(t *testing.T) {
+	// V projects away the join variable; no complete rewriting can exist.
+	q := cq.MustParse("Q(X, Y) :- R(X, Z), S(Z, Y)")
+	views := []*cq.Query{
+		cq.MustParse("VR(X) :- R(X, Z)"),
+		cq.MustParse("VS(Y) :- S(Z, Y)"),
+	}
+	res, err := Rewrite(q, views, Options{})
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if len(res.Rewritings) != 0 {
+		t.Fatalf("got %d rewritings, want 0 (join variable projected away)", len(res.Rewritings))
+	}
+}
+
+func TestJoinPreservingViews(t *testing.T) {
+	q := cq.MustParse("Q(X, Y) :- R(X, Z), S(Z, Y)")
+	views := []*cq.Query{
+		cq.MustParse("VR(X, Z) :- R(X, Z)"),
+		cq.MustParse("VS(Z, Y) :- S(Z, Y)"),
+	}
+	for _, method := range []Method{MethodMiniCon, MethodBucket} {
+		res, err := Rewrite(q, views, Options{Method: method})
+		if err != nil {
+			t.Fatalf("Rewrite(%v): %v", method, err)
+		}
+		if len(res.Rewritings) != 1 {
+			t.Fatalf("%v: got %d rewritings, want 1", method, len(res.Rewritings))
+		}
+		if !usesViews(res.Rewritings[0], "VR", "VS") {
+			t.Errorf("%v: unexpected rewriting %s", method, res.Rewritings[0])
+		}
+	}
+}
+
+func TestViewCoveringMultipleSubgoals(t *testing.T) {
+	// A single view covering both subgoals including the join.
+	q := cq.MustParse("Q(X, Y) :- R(X, Z), S(Z, Y)")
+	views := []*cq.Query{cq.MustParse("V(X, Y) :- R(X, Z), S(Z, Y)")}
+	res, err := Rewrite(q, views, Options{})
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if len(res.Rewritings) != 1 {
+		t.Fatalf("got %d rewritings, want 1", len(res.Rewritings))
+	}
+	r := res.Rewritings[0]
+	if !usesViews(r, "V") {
+		t.Errorf("unexpected rewriting %s", r)
+	}
+}
+
+func TestConstantInQuery(t *testing.T) {
+	// Query pins a column to a constant; the view exposes that column, so
+	// the rewriting pins the view argument.
+	q := cq.MustParse("Q(X) :- R(X, 'fixed')")
+	views := []*cq.Query{cq.MustParse("V(X, Y) :- R(X, Y)")}
+	res, err := Rewrite(q, views, Options{})
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if len(res.Rewritings) != 1 {
+		t.Fatalf("got %d rewritings, want 1", len(res.Rewritings))
+	}
+	s := res.Rewritings[0].String()
+	if !strings.Contains(s, "'fixed'") {
+		t.Errorf("rewriting %s should pin the constant", s)
+	}
+}
+
+func TestConstantInViewBlocksGeneralQuery(t *testing.T) {
+	// The view only holds R tuples with the second column pinned; it
+	// cannot answer the unrestricted query.
+	q := cq.MustParse("Q(X, Y) :- R(X, Y)")
+	views := []*cq.Query{cq.MustParse("V(X) :- R(X, 'fixed')")}
+	res, err := Rewrite(q, views, Options{})
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if len(res.Rewritings) != 0 {
+		t.Fatalf("got %d rewritings, want 0", len(res.Rewritings))
+	}
+}
+
+func TestMinimizationDropsRedundantAtoms(t *testing.T) {
+	// Without minimization, the bucket algorithm happily returns V joined
+	// with itself; minimization should reduce it to a single atom.
+	q := cq.MustParse("Q(X, Y) :- R(X, Y), R(X, Y)")
+	views := []*cq.Query{cq.MustParse("V(X, Y) :- R(X, Y)")}
+	res, err := Rewrite(q, views, Options{Method: MethodBucket})
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if len(res.Rewritings) != 1 {
+		t.Fatalf("got %d rewritings, want 1 after minimization+dedupe", len(res.Rewritings))
+	}
+	if len(res.Rewritings[0].ViewAtoms) != 1 {
+		t.Errorf("rewriting %s should use exactly one view atom", res.Rewritings[0])
+	}
+}
+
+func TestSelfJoinQuery(t *testing.T) {
+	q := cq.MustParse("Q(X, Z) :- E(X, Y), E(Y, Z)")
+	views := []*cq.Query{cq.MustParse("VE(A, B) :- E(A, B)")}
+	res, err := Rewrite(q, views, Options{})
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if len(res.Rewritings) != 1 {
+		t.Fatalf("got %d rewritings, want 1", len(res.Rewritings))
+	}
+	if len(res.Rewritings[0].ViewAtoms) != 2 {
+		t.Errorf("self-join rewriting should use the view twice: %s", res.Rewritings[0])
+	}
+}
+
+func TestMaxRewritingsCap(t *testing.T) {
+	q := paperQuery(t)
+	res, err := Rewrite(q, paperViews(t), Options{MaxRewritings: 1})
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if len(res.Rewritings) != 1 {
+		t.Fatalf("got %d rewritings, want capped 1", len(res.Rewritings))
+	}
+}
+
+func TestDuplicateViewNameRejected(t *testing.T) {
+	views := []*cq.Query{
+		cq.MustParse("V(X) :- R(X, Y)"),
+		cq.MustParse("V(Y) :- S(X, Y)"),
+	}
+	if _, err := Rewrite(paperQuery(t), views, Options{}); err == nil {
+		t.Fatal("expected error for duplicate view names")
+	}
+}
+
+func TestBucketExaminesMoreCandidates(t *testing.T) {
+	q := paperQuery(t)
+	views := paperViews(t)
+	mini, err := Rewrite(q, views, Options{Method: MethodMiniCon})
+	if err != nil {
+		t.Fatalf("minicon: %v", err)
+	}
+	bucket, err := Rewrite(q, views, Options{Method: MethodBucket})
+	if err != nil {
+		t.Fatalf("bucket: %v", err)
+	}
+	if bucket.CandidatesExamined < mini.CandidatesExamined {
+		t.Errorf("bucket examined %d candidates, minicon %d; bucket should not examine fewer",
+			bucket.CandidatesExamined, mini.CandidatesExamined)
+	}
+	if len(bucket.Rewritings) != len(mini.Rewritings) {
+		t.Errorf("bucket found %d rewritings, minicon %d; should agree",
+			len(bucket.Rewritings), len(mini.Rewritings))
+	}
+}

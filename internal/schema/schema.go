@@ -1,0 +1,165 @@
+// Package schema describes relation schemas and whole-database schemas for
+// the data-citation engine. A Relation names its attributes, their kinds,
+// and an optional primary key; a Schema is a set of relations addressed by
+// name.
+//
+// The citation machinery uses schemas in three places: validating
+// conjunctive queries against the database, deciding key-based containment
+// shortcuts, and estimating citation sizes at the schema level (DESIGN.md,
+// experiment E2).
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Attribute is a named, typed column of a relation.
+type Attribute struct {
+	Name string
+	Kind value.Kind
+}
+
+// Relation is the schema of a single relation: its name, ordered
+// attributes, and the indexes (into Attributes) of its primary-key columns.
+// An empty Key means the whole tuple is the key (set semantics).
+type Relation struct {
+	Name       string
+	Attributes []Attribute
+	Key        []int
+}
+
+// NewRelation builds a relation schema. keyCols names the primary-key
+// attributes; they must each appear in attrs.
+func NewRelation(name string, attrs []Attribute, keyCols ...string) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: relation name must be non-empty")
+	}
+	seen := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("schema: relation %s: attribute %d has empty name", name, i)
+		}
+		if _, dup := seen[a.Name]; dup {
+			return nil, fmt.Errorf("schema: relation %s: duplicate attribute %s", name, a.Name)
+		}
+		seen[a.Name] = i
+	}
+	r := &Relation{Name: name, Attributes: attrs}
+	for _, k := range keyCols {
+		i, ok := seen[k]
+		if !ok {
+			return nil, fmt.Errorf("schema: relation %s: key column %s not an attribute", name, k)
+		}
+		r.Key = append(r.Key, i)
+	}
+	sort.Ints(r.Key)
+	return r, nil
+}
+
+// MustRelation is NewRelation but panics on error; intended for statically
+// known schemas in tests and generators.
+func MustRelation(name string, attrs []Attribute, keyCols ...string) *Relation {
+	r, err := NewRelation(name, attrs, keyCols...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Attributes) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.Attributes {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasKey reports whether the relation declares a (proper) primary key.
+func (r *Relation) HasKey() bool { return len(r.Key) > 0 }
+
+// String renders the schema as Name(attr kind, ...), with key columns
+// marked by a trailing asterisk.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.Name)
+	b.WriteByte('(')
+	key := make(map[int]bool, len(r.Key))
+	for _, k := range r.Key {
+		key[k] = true
+	}
+	for i, a := range r.Attributes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+		if key[i] {
+			b.WriteByte('*')
+		}
+		b.WriteByte(' ')
+		b.WriteString(a.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Schema is a named collection of relation schemas.
+type Schema struct {
+	relations map[string]*Relation
+	order     []string
+}
+
+// New creates an empty schema.
+func New() *Schema {
+	return &Schema{relations: make(map[string]*Relation)}
+}
+
+// Add registers a relation schema. Re-adding the same name is an error.
+func (s *Schema) Add(r *Relation) error {
+	if _, dup := s.relations[r.Name]; dup {
+		return fmt.Errorf("schema: relation %s already defined", r.Name)
+	}
+	s.relations[r.Name] = r
+	s.order = append(s.order, r.Name)
+	return nil
+}
+
+// MustAdd is Add but panics on error.
+func (s *Schema) MustAdd(r *Relation) {
+	if err := s.Add(r); err != nil {
+		panic(err)
+	}
+}
+
+// Relation returns the named relation schema, or nil.
+func (s *Schema) Relation(name string) *Relation { return s.relations[name] }
+
+// Names returns relation names in registration order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Len returns the number of relations.
+func (s *Schema) Len() int { return len(s.order) }
+
+// String lists all relation schemas, one per line, in registration order.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, n := range s.order {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(s.relations[n].String())
+	}
+	return b.String()
+}

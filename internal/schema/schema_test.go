@@ -1,0 +1,126 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func familyAttrs() []Attribute {
+	return []Attribute{
+		{Name: "FID", Kind: value.KindInt},
+		{Name: "FName", Kind: value.KindString},
+		{Name: "Desc", Kind: value.KindString},
+	}
+}
+
+func TestNewRelation(t *testing.T) {
+	r, err := NewRelation("Family", familyAttrs(), "FID")
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	if r.Arity() != 3 {
+		t.Errorf("arity %d, want 3", r.Arity())
+	}
+	if !r.HasKey() || len(r.Key) != 1 || r.Key[0] != 0 {
+		t.Errorf("key %v, want [0]", r.Key)
+	}
+	if i := r.AttrIndex("FName"); i != 1 {
+		t.Errorf("AttrIndex(FName) = %d, want 1", i)
+	}
+	if i := r.AttrIndex("nope"); i != -1 {
+		t.Errorf("AttrIndex(nope) = %d, want -1", i)
+	}
+}
+
+func TestNewRelationErrors(t *testing.T) {
+	if _, err := NewRelation("", familyAttrs()); err == nil {
+		t.Error("empty name accepted")
+	}
+	dup := []Attribute{{Name: "A", Kind: value.KindInt}, {Name: "A", Kind: value.KindString}}
+	if _, err := NewRelation("R", dup); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	empty := []Attribute{{Name: "", Kind: value.KindInt}}
+	if _, err := NewRelation("R", empty); err == nil {
+		t.Error("empty attribute name accepted")
+	}
+	if _, err := NewRelation("R", familyAttrs(), "NotThere"); err == nil {
+		t.Error("bogus key column accepted")
+	}
+}
+
+func TestMustRelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRelation did not panic on invalid input")
+		}
+	}()
+	MustRelation("", nil)
+}
+
+func TestRelationString(t *testing.T) {
+	r := MustRelation("Family", familyAttrs(), "FID")
+	s := r.String()
+	if !strings.HasPrefix(s, "Family(") {
+		t.Errorf("String() = %q", s)
+	}
+	if !strings.Contains(s, "FID*") {
+		t.Errorf("key column not marked: %q", s)
+	}
+	if !strings.Contains(s, "FName string") {
+		t.Errorf("attribute kind missing: %q", s)
+	}
+}
+
+func TestSchemaAddAndLookup(t *testing.T) {
+	s := New()
+	if err := s.Add(MustRelation("A", familyAttrs())); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(MustRelation("B", familyAttrs())); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if s.Relation("A") == nil || s.Relation("B") == nil {
+		t.Error("registered relations not found")
+	}
+	if s.Relation("C") != nil {
+		t.Error("unknown relation returned non-nil")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("Names() = %v, want [A B] (registration order)", names)
+	}
+}
+
+func TestSchemaDuplicateRejected(t *testing.T) {
+	s := New()
+	s.MustAdd(MustRelation("A", familyAttrs()))
+	if err := s.Add(MustRelation("A", familyAttrs())); err == nil {
+		t.Error("duplicate relation accepted")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := New()
+	s.MustAdd(MustRelation("A", familyAttrs()))
+	s.MustAdd(MustRelation("B", familyAttrs()))
+	out := s.String()
+	if lines := strings.Split(out, "\n"); len(lines) != 2 {
+		t.Errorf("String() = %q, want 2 lines", out)
+	}
+}
+
+func TestNamesReturnsCopy(t *testing.T) {
+	s := New()
+	s.MustAdd(MustRelation("A", familyAttrs()))
+	names := s.Names()
+	names[0] = "mutated"
+	if s.Names()[0] != "A" {
+		t.Error("Names() exposes internal slice")
+	}
+}

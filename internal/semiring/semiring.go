@@ -1,0 +1,368 @@
+// Package semiring implements the commutative semirings used to propagate
+// annotations through conjunctive-query evaluation, following Green,
+// Karvounarakis and Tannen, "Provenance semirings" (PODS 2007) — the
+// machinery the data-citation paper builds its `·` (joint) and `+`
+// (alternative) citation operators on.
+//
+// A semiring (K, +, ·, 0, 1) must satisfy: (K,+,0) commutative monoid,
+// (K,·,1) monoid, · distributes over +, and 0 annihilates ·. The package
+// provides the Boolean, natural-number, tropical (min-size), why-provenance
+// and provenance-polynomial semirings, plus a property-test harness used by
+// the test suite to verify the laws for every implementation.
+package semiring
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Semiring describes a commutative semiring over values of type T.
+type Semiring[T any] interface {
+	// Zero is the additive identity (annotation of absent tuples).
+	Zero() T
+	// One is the multiplicative identity (annotation of unconditionally
+	// present tuples).
+	One() T
+	// Plus combines alternative derivations.
+	Plus(a, b T) T
+	// Times combines joint use within one derivation.
+	Times(a, b T) T
+	// Equal reports semantic equality of two annotations.
+	Equal(a, b T) bool
+	// IsZero reports whether a equals the additive identity.
+	IsZero(a T) bool
+}
+
+// ---------------------------------------------------------------------------
+// Boolean semiring ({false,true}, ∨, ∧): set semantics.
+
+// Bool is the Boolean semiring; evaluation under it is ordinary set
+// semantics ("is the tuple in the answer?").
+type Bool struct{}
+
+// Zero returns false.
+func (Bool) Zero() bool { return false }
+
+// One returns true.
+func (Bool) One() bool { return true }
+
+// Plus is logical or.
+func (Bool) Plus(a, b bool) bool { return a || b }
+
+// Times is logical and.
+func (Bool) Times(a, b bool) bool { return a && b }
+
+// Equal is ==.
+func (Bool) Equal(a, b bool) bool { return a == b }
+
+// IsZero reports a == false.
+func (Bool) IsZero(a bool) bool { return !a }
+
+// ---------------------------------------------------------------------------
+// Natural-number semiring (ℕ, +, ×): bag semantics / derivation counting.
+
+// Natural is the counting semiring; evaluation under it counts the number
+// of derivations (bindings) per output tuple.
+type Natural struct{}
+
+// Zero returns 0.
+func (Natural) Zero() int { return 0 }
+
+// One returns 1.
+func (Natural) One() int { return 1 }
+
+// Plus is integer addition.
+func (Natural) Plus(a, b int) int { return a + b }
+
+// Times is integer multiplication.
+func (Natural) Times(a, b int) int { return a * b }
+
+// Equal is ==.
+func (Natural) Equal(a, b int) bool { return a == b }
+
+// IsZero reports a == 0.
+func (Natural) IsZero(a int) bool { return a == 0 }
+
+// ---------------------------------------------------------------------------
+// Tropical semiring (ℝ∪{∞}, min, +): cost / minimum-size reasoning. The
+// paper's "+R as minimum estimated size" policy is exactly evaluation in
+// this semiring.
+
+// Tropical is the (min, +) semiring over float64 with +Inf as zero.
+type Tropical struct{}
+
+// Zero returns +Inf.
+func (Tropical) Zero() float64 { return math.Inf(1) }
+
+// One returns 0.
+func (Tropical) One() float64 { return 0 }
+
+// Plus is min.
+func (Tropical) Plus(a, b float64) float64 { return math.Min(a, b) }
+
+// Times is addition.
+func (Tropical) Times(a, b float64) float64 { return a + b }
+
+// Equal is == (treating all +Inf as equal).
+func (Tropical) Equal(a, b float64) bool {
+	return a == b || (math.IsInf(a, 1) && math.IsInf(b, 1))
+}
+
+// IsZero reports whether a is +Inf.
+func (Tropical) IsZero(a float64) bool { return math.IsInf(a, 1) }
+
+// ---------------------------------------------------------------------------
+// Why-provenance semiring: sets of witness sets.
+
+// Witness is a sorted, deduplicated set of atom identifiers, encoded
+// canonically so it can serve as a map key.
+type Witness string
+
+// NewWitness builds a canonical witness from atom identifiers.
+func NewWitness(ids ...string) Witness {
+	sorted := append([]string(nil), ids...)
+	sort.Strings(sorted)
+	uniq := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || sorted[i-1] != s {
+			uniq = append(uniq, s)
+		}
+	}
+	return Witness(strings.Join(uniq, "\x1f"))
+}
+
+// IDs decodes the witness back into its sorted atom identifiers.
+func (w Witness) IDs() []string {
+	if w == "" {
+		return nil
+	}
+	return strings.Split(string(w), "\x1f")
+}
+
+// union merges two witnesses (joint use of their atoms).
+func (w Witness) union(x Witness) Witness {
+	return NewWitness(append(w.IDs(), x.IDs()...)...)
+}
+
+// WhySet is a set of witnesses. The empty set is the semiring zero; the set
+// containing the empty witness is the one.
+type WhySet map[Witness]struct{}
+
+// Why is the why-provenance semiring (sets of witness sets): Plus is set
+// union, Times is pairwise witness union.
+type Why struct{}
+
+// Zero returns the empty witness set.
+func (Why) Zero() WhySet { return WhySet{} }
+
+// One returns the singleton set holding the empty witness.
+func (Why) One() WhySet { return WhySet{NewWitness(): {}} }
+
+// Plus is set union.
+func (Why) Plus(a, b WhySet) WhySet {
+	out := make(WhySet, len(a)+len(b))
+	for w := range a {
+		out[w] = struct{}{}
+	}
+	for w := range b {
+		out[w] = struct{}{}
+	}
+	return out
+}
+
+// Times unions every pair of witnesses.
+func (Why) Times(a, b WhySet) WhySet {
+	out := make(WhySet, len(a)*len(b))
+	for w := range a {
+		for x := range b {
+			out[w.union(x)] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (Why) Equal(a, b WhySet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for w := range a {
+		if _, ok := b[w]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports emptiness.
+func (Why) IsZero(a WhySet) bool { return len(a) == 0 }
+
+// Singleton returns the why-annotation of a base tuple with the given id.
+func (Why) Singleton(id string) WhySet { return WhySet{NewWitness(id): {}} }
+
+// ---------------------------------------------------------------------------
+// Provenance polynomials ℕ[X]: the most general (free) commutative
+// semiring. Annotations are polynomials with natural coefficients over
+// abstract provenance tokens; every other commutative-semiring annotation
+// factors through these.
+
+// Monomial is a multiset of provenance tokens, encoded canonically
+// (token^exp sorted by token, joined by '*').
+type Monomial string
+
+// monomial constructs the canonical encoding from a token→exponent map.
+func monomial(exp map[string]int) Monomial {
+	if len(exp) == 0 {
+		return Monomial("")
+	}
+	keys := make([]string, 0, len(exp))
+	for k, e := range exp {
+		if e > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte('*')
+		}
+		b.WriteString(k)
+		if exp[k] > 1 {
+			fmt.Fprintf(&b, "^%d", exp[k])
+		}
+	}
+	return Monomial(b.String())
+}
+
+// exponents decodes the monomial into a token→exponent map.
+func (m Monomial) exponents() map[string]int {
+	out := make(map[string]int)
+	if m == "" {
+		return out
+	}
+	for _, part := range strings.Split(string(m), "*") {
+		tok := part
+		e := 1
+		if i := strings.LastIndexByte(part, '^'); i >= 0 {
+			tok = part[:i]
+			fmt.Sscanf(part[i+1:], "%d", &e)
+		}
+		out[tok] += e
+	}
+	return out
+}
+
+// Degree returns the total degree of the monomial.
+func (m Monomial) Degree() int {
+	d := 0
+	for _, e := range m.exponents() {
+		d += e
+	}
+	return d
+}
+
+// Poly is a provenance polynomial: monomial → coefficient. Zero-coefficient
+// entries are never stored.
+type Poly map[Monomial]int
+
+// Polynomial is the ℕ[X] semiring.
+type Polynomial struct{}
+
+// Zero returns the zero polynomial.
+func (Polynomial) Zero() Poly { return Poly{} }
+
+// One returns the constant polynomial 1.
+func (Polynomial) One() Poly { return Poly{Monomial(""): 1} }
+
+// Plus adds polynomials coefficient-wise.
+func (Polynomial) Plus(a, b Poly) Poly {
+	out := make(Poly, len(a)+len(b))
+	for m, c := range a {
+		out[m] += c
+	}
+	for m, c := range b {
+		out[m] += c
+	}
+	for m, c := range out {
+		if c == 0 {
+			delete(out, m)
+		}
+	}
+	return out
+}
+
+// Times multiplies polynomials (convolution of monomials).
+func (Polynomial) Times(a, b Poly) Poly {
+	out := make(Poly)
+	for ma, ca := range a {
+		ea := ma.exponents()
+		for mb, cb := range b {
+			prod := make(map[string]int, len(ea))
+			for k, e := range ea {
+				prod[k] = e
+			}
+			for k, e := range mb.exponents() {
+				prod[k] += e
+			}
+			out[monomial(prod)] += ca * cb
+		}
+	}
+	for m, c := range out {
+		if c == 0 {
+			delete(out, m)
+		}
+	}
+	return out
+}
+
+// Equal reports polynomial equality.
+func (Polynomial) Equal(a, b Poly) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for m, c := range a {
+		if b[m] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether the polynomial is 0.
+func (Polynomial) IsZero(a Poly) bool { return len(a) == 0 }
+
+// Token returns the polynomial consisting of a single provenance token.
+func (Polynomial) Token(tok string) Poly {
+	return Poly{monomial(map[string]int{tok: 1}): 1}
+}
+
+// String renders the polynomial deterministically, e.g. "2*x*y + z^2".
+func (p Poly) String() string {
+	if len(p) == 0 {
+		return "0"
+	}
+	monos := make([]string, 0, len(p))
+	for m := range p {
+		monos = append(monos, string(m))
+	}
+	sort.Strings(monos)
+	var b strings.Builder
+	for i, ms := range monos {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		c := p[Monomial(ms)]
+		switch {
+		case ms == "":
+			fmt.Fprintf(&b, "%d", c)
+		case c == 1:
+			b.WriteString(ms)
+		default:
+			fmt.Fprintf(&b, "%d*%s", c, ms)
+		}
+	}
+	return b.String()
+}

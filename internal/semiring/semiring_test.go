@@ -1,0 +1,179 @@
+package semiring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// lawTest checks the commutative-semiring axioms for a semiring over
+// randomly generated elements.
+func lawTest[T any](t *testing.T, name string, sr Semiring[T], gen func(r *rand.Rand) T) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 200; i++ {
+			a, b, c := gen(rng), gen(rng), gen(rng)
+			// (K, +, 0) commutative monoid.
+			if !sr.Equal(sr.Plus(a, b), sr.Plus(b, a)) {
+				t.Fatalf("+ not commutative: %v, %v", a, b)
+			}
+			if !sr.Equal(sr.Plus(sr.Plus(a, b), c), sr.Plus(a, sr.Plus(b, c))) {
+				t.Fatalf("+ not associative: %v, %v, %v", a, b, c)
+			}
+			if !sr.Equal(sr.Plus(a, sr.Zero()), a) {
+				t.Fatalf("0 not + identity: %v", a)
+			}
+			// (K, ·, 1) commutative monoid.
+			if !sr.Equal(sr.Times(a, b), sr.Times(b, a)) {
+				t.Fatalf("· not commutative: %v, %v", a, b)
+			}
+			if !sr.Equal(sr.Times(sr.Times(a, b), c), sr.Times(a, sr.Times(b, c))) {
+				t.Fatalf("· not associative: %v, %v, %v", a, b, c)
+			}
+			if !sr.Equal(sr.Times(a, sr.One()), a) {
+				t.Fatalf("1 not · identity: %v", a)
+			}
+			// Distributivity.
+			left := sr.Times(a, sr.Plus(b, c))
+			right := sr.Plus(sr.Times(a, b), sr.Times(a, c))
+			if !sr.Equal(left, right) {
+				t.Fatalf("· does not distribute over +: a=%v b=%v c=%v (%v vs %v)", a, b, c, left, right)
+			}
+			// Annihilation.
+			if !sr.Equal(sr.Times(a, sr.Zero()), sr.Zero()) {
+				t.Fatalf("0 does not annihilate: %v", a)
+			}
+			// IsZero consistency.
+			if !sr.IsZero(sr.Zero()) {
+				t.Fatal("IsZero(Zero) = false")
+			}
+		}
+	})
+}
+
+func TestSemiringLaws(t *testing.T) {
+	lawTest[bool](t, "bool", Bool{}, func(r *rand.Rand) bool { return r.Intn(2) == 0 })
+	lawTest[int](t, "natural", Natural{}, func(r *rand.Rand) int { return r.Intn(8) })
+	lawTest[float64](t, "tropical", Tropical{}, func(r *rand.Rand) float64 {
+		if r.Intn(5) == 0 {
+			return Tropical{}.Zero()
+		}
+		return float64(r.Intn(20))
+	})
+	lawTest[WhySet](t, "why", Why{}, func(r *rand.Rand) WhySet {
+		sr := Why{}
+		out := sr.Zero()
+		for i := r.Intn(3); i > 0; i-- {
+			var ids []string
+			for j := r.Intn(3); j >= 0; j-- {
+				ids = append(ids, fmt.Sprintf("t%d", r.Intn(5)))
+			}
+			out = sr.Plus(out, WhySet{NewWitness(ids...): {}})
+		}
+		return out
+	})
+	lawTest[Poly](t, "polynomial", Polynomial{}, func(r *rand.Rand) Poly {
+		sr := Polynomial{}
+		out := sr.Zero()
+		for i := r.Intn(3); i > 0; i-- {
+			term := sr.Token(fmt.Sprintf("x%d", r.Intn(4)))
+			if r.Intn(2) == 0 {
+				term = sr.Times(term, sr.Token(fmt.Sprintf("x%d", r.Intn(4))))
+			}
+			out = sr.Plus(out, term)
+		}
+		return out
+	})
+}
+
+func TestWitnessCanonical(t *testing.T) {
+	a := NewWitness("b", "a", "a")
+	b := NewWitness("a", "b")
+	if a != b {
+		t.Errorf("witness not canonical: %q vs %q", a, b)
+	}
+	ids := a.IDs()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("IDs() = %v", ids)
+	}
+	if got := NewWitness().IDs(); got != nil {
+		t.Errorf("empty witness IDs = %v, want nil", got)
+	}
+}
+
+func TestWhyAbsorptionExample(t *testing.T) {
+	// Why({a}) · (Why({a}) + Why({b})) = {a} ∪ {a,b} witnesses.
+	sr := Why{}
+	a := sr.Singleton("a")
+	b := sr.Singleton("b")
+	got := sr.Times(a, sr.Plus(a, b))
+	want := WhySet{NewWitness("a"): {}, NewWitness("a", "b"): {}}
+	if !sr.Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTropicalMinPlus(t *testing.T) {
+	sr := Tropical{}
+	if sr.Plus(3, 5) != 3 {
+		t.Error("tropical + is not min")
+	}
+	if sr.Times(3, 5) != 8 {
+		t.Error("tropical · is not +")
+	}
+	if !sr.IsZero(sr.Plus(sr.Zero(), sr.Zero())) {
+		t.Error("inf + inf should be zero")
+	}
+}
+
+func TestPolynomialStringDeterministic(t *testing.T) {
+	sr := Polynomial{}
+	p := sr.Plus(sr.Times(sr.Token("y"), sr.Token("x")), sr.Plus(sr.Token("z"), sr.Token("z")))
+	if got := p.String(); got != "x*y + 2*z" {
+		t.Errorf("String() = %q, want %q", got, "x*y + 2*z")
+	}
+	if got := (Poly{}).String(); got != "0" {
+		t.Errorf("zero poly String() = %q", got)
+	}
+}
+
+func TestPolynomialExponents(t *testing.T) {
+	sr := Polynomial{}
+	x := sr.Token("x")
+	x3 := sr.Times(x, sr.Times(x, x))
+	if len(x3) != 1 {
+		t.Fatalf("x^3 has %d monomials", len(x3))
+	}
+	for m, c := range x3 {
+		if c != 1 {
+			t.Errorf("coefficient %d", c)
+		}
+		if m.Degree() != 3 {
+			t.Errorf("degree %d, want 3", m.Degree())
+		}
+		if string(m) != "x^3" {
+			t.Errorf("monomial %q, want x^3", m)
+		}
+	}
+}
+
+func TestPolynomialCancellationNeverNegative(t *testing.T) {
+	// N[X] has no subtraction; Plus only grows coefficients.
+	sr := Polynomial{}
+	p := sr.Plus(sr.Token("x"), sr.Token("x"))
+	if p[Monomial("x")] != 2 {
+		t.Errorf("x + x = %v", p)
+	}
+}
+
+func TestCountingBindings(t *testing.T) {
+	// 2 alternatives of 3 joint uses each = 2 derivations in Natural.
+	sr := Natural{}
+	one := sr.One()
+	prod := sr.Times(sr.Times(one, one), one)
+	total := sr.Plus(prod, prod)
+	if total != 2 {
+		t.Errorf("derivation count %d, want 2", total)
+	}
+}

@@ -1,0 +1,412 @@
+// Package storage implements the in-memory relational store that underpins
+// the data-citation engine. It provides set-semantics relations with
+// optional hash indexes per column, bulk loading, and a Database that binds
+// relation instances to a schema.
+//
+// The store is deliberately simple — the paper's computational content is in
+// query rewriting and annotation propagation, not storage — but it is
+// complete enough to support the evaluation engine's index-nested-loop
+// joins, cardinality statistics for cost estimation, and copy-on-write
+// snapshots for the fixity subsystem.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+// Tuple is an ordered list of values matching a relation schema.
+type Tuple []value.Value
+
+// Equal reports element-wise equality of two tuples.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically by value.Compare.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// Key renders the tuple as a canonical string usable as a map key.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteByte(byte('0' + v.Kind()))
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.Quote()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is a set-semantics collection of tuples conforming to a schema,
+// with lazily built hash indexes per column.
+type Relation struct {
+	schema  *schema.Relation
+	tuples  []Tuple
+	present map[string]int // tuple key -> index into tuples (or -1 if deleted)
+	indexes map[int]map[value.Value][]int
+}
+
+// NewRelation creates an empty relation instance for the given schema.
+func NewRelation(rs *schema.Relation) *Relation {
+	return &Relation{
+		schema:  rs,
+		present: make(map[string]int),
+		indexes: make(map[int]map[value.Value][]int),
+	}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *schema.Relation { return r.schema }
+
+// Len returns the number of live tuples.
+func (r *Relation) Len() int { return len(r.present) }
+
+// Insert adds a tuple; it is a no-op (returning false) if an equal tuple is
+// already present. It returns an error if the arity or kinds mismatch the
+// schema.
+func (r *Relation) Insert(t Tuple) (bool, error) {
+	if err := r.checkTuple(t); err != nil {
+		return false, err
+	}
+	k := t.Key()
+	if _, ok := r.present[k]; ok {
+		return false, nil
+	}
+	// Amortized hole reclamation: if deletions have left more holes than
+	// live tuples, compact before growing the backing slice further.
+	if holes := len(r.tuples) - len(r.present); holes > 64 && holes > len(r.present) {
+		r.Compact()
+	}
+	idx := len(r.tuples)
+	r.tuples = append(r.tuples, t.Clone())
+	r.present[k] = idx
+	for col, ix := range r.indexes {
+		ix[t[col]] = append(ix[t[col]], idx)
+	}
+	return true, nil
+}
+
+// MustInsert inserts and panics on schema mismatch; duplicate inserts are
+// silently ignored. Intended for generators and tests.
+func (r *Relation) MustInsert(vals ...value.Value) {
+	if _, err := r.Insert(Tuple(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// Delete removes a tuple if present, returning whether it was removed.
+// Deletion leaves a hole in the backing slice (nil tuple) so index entries
+// can be skipped cheaply; Compact reclaims space.
+func (r *Relation) Delete(t Tuple) bool {
+	k := t.Key()
+	idx, ok := r.present[k]
+	if !ok {
+		return false
+	}
+	delete(r.present, k)
+	r.tuples[idx] = nil
+	return true
+}
+
+// Contains reports whether the relation holds the tuple.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.present[t.Key()]
+	return ok
+}
+
+// Compact rebuilds internal storage after deletions, dropping holes and
+// rebuilding all indexes.
+func (r *Relation) Compact() {
+	live := make([]Tuple, 0, len(r.present))
+	for _, t := range r.tuples {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	r.tuples = live
+	r.present = make(map[string]int, len(live))
+	for i, t := range live {
+		r.present[t.Key()] = i
+	}
+	cols := make([]int, 0, len(r.indexes))
+	for col := range r.indexes {
+		cols = append(cols, col)
+	}
+	r.indexes = make(map[int]map[value.Value][]int)
+	for _, col := range cols {
+		r.BuildIndex(col)
+	}
+}
+
+// BuildIndex constructs (or rebuilds) a hash index on the given column.
+func (r *Relation) BuildIndex(col int) {
+	ix := make(map[value.Value][]int)
+	for i, t := range r.tuples {
+		if t == nil {
+			continue
+		}
+		ix[t[col]] = append(ix[t[col]], i)
+	}
+	r.indexes[col] = ix
+}
+
+// HasIndex reports whether a hash index exists on the column.
+func (r *Relation) HasIndex(col int) bool {
+	_, ok := r.indexes[col]
+	return ok
+}
+
+// Lookup returns the live tuples whose column col equals v, using the index
+// if present and scanning otherwise.
+func (r *Relation) Lookup(col int, v value.Value) []Tuple {
+	if ix, ok := r.indexes[col]; ok {
+		rows := ix[v]
+		out := make([]Tuple, 0, len(rows))
+		for _, i := range rows {
+			if t := r.tuples[i]; t != nil {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	var out []Tuple
+	for _, t := range r.tuples {
+		if t != nil && t[col] == v {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Scan invokes fn for every live tuple; fn returning false stops the scan.
+func (r *Relation) Scan(fn func(Tuple) bool) {
+	for _, t := range r.tuples {
+		if t == nil {
+			continue
+		}
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Tuples returns a snapshot slice of all live tuples in insertion order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.present))
+	r.Scan(func(t Tuple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// SortedTuples returns all live tuples in canonical (lexicographic) order,
+// for deterministic output in tests and formatters.
+func (r *Relation) SortedTuples() []Tuple {
+	out := r.Tuples()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// DistinctCount returns the number of distinct values in column col. It is
+// used by the schema-level citation-size estimator.
+func (r *Relation) DistinctCount(col int) int {
+	if ix, ok := r.indexes[col]; ok {
+		n := 0
+		for v, rows := range ix {
+			_ = v
+			for _, i := range rows {
+				if r.tuples[i] != nil {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	seen := make(map[value.Value]struct{})
+	r.Scan(func(t Tuple) bool {
+		seen[t[col]] = struct{}{}
+		return true
+	})
+	return len(seen)
+}
+
+// Clone returns a deep copy of the relation (tuples are shared, which is
+// safe because tuples are never mutated in place).
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.schema)
+	r.Scan(func(t Tuple) bool {
+		out.tuples = append(out.tuples, t)
+		out.present[t.Key()] = len(out.tuples) - 1
+		return true
+	})
+	for col := range r.indexes {
+		out.BuildIndex(col)
+	}
+	return out
+}
+
+func (r *Relation) checkTuple(t Tuple) error {
+	if len(t) != r.schema.Arity() {
+		return fmt.Errorf("storage: relation %s: tuple arity %d, want %d", r.schema.Name, len(t), r.schema.Arity())
+	}
+	for i, v := range t {
+		if v.Kind() != r.schema.Attributes[i].Kind {
+			return fmt.Errorf("storage: relation %s: attribute %s: kind %s, want %s",
+				r.schema.Name, r.schema.Attributes[i].Name, v.Kind(), r.schema.Attributes[i].Kind)
+		}
+	}
+	return nil
+}
+
+// Database binds relation instances to a schema. It is safe for concurrent
+// readers; writers must be externally serialized (the fixity layer adds
+// versioned concurrency on top).
+type Database struct {
+	mu        sync.RWMutex
+	schema    *schema.Schema
+	relations map[string]*Relation
+}
+
+// NewDatabase creates a database with one empty relation instance per
+// schema relation.
+func NewDatabase(s *schema.Schema) *Database {
+	db := &Database{schema: s, relations: make(map[string]*Relation, s.Len())}
+	for _, name := range s.Names() {
+		db.relations[name] = NewRelation(s.Relation(name))
+	}
+	return db
+}
+
+// Schema returns the database schema.
+func (db *Database) Schema() *schema.Schema { return db.schema }
+
+// Relation returns the named relation instance, or nil.
+func (db *Database) Relation(name string) *Relation {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.relations[name]
+}
+
+// Insert adds a tuple to the named relation.
+func (db *Database) Insert(relation string, vals ...value.Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.relations[relation]
+	if !ok {
+		return fmt.Errorf("storage: unknown relation %s", relation)
+	}
+	_, err := r.Insert(Tuple(vals))
+	return err
+}
+
+// Delete removes a tuple from the named relation, reporting whether it was
+// present.
+func (db *Database) Delete(relation string, vals ...value.Value) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.relations[relation]
+	if !ok {
+		return false, fmt.Errorf("storage: unknown relation %s", relation)
+	}
+	return r.Delete(Tuple(vals)), nil
+}
+
+// Size returns the total number of live tuples across all relations.
+func (db *Database) Size() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, r := range db.relations {
+		n += r.Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the database (used by fixity snapshots).
+func (db *Database) Clone() *Database {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := &Database{schema: db.schema, relations: make(map[string]*Relation, len(db.relations))}
+	for name, r := range db.relations {
+		out.relations[name] = r.Clone()
+	}
+	return out
+}
+
+// BuildIndexes constructs hash indexes on every column of every relation.
+// The evaluator works without indexes; building them turns joins into
+// index-nested-loop joins.
+func (db *Database) BuildIndexes() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, r := range db.relations {
+		for col := 0; col < r.schema.Arity(); col++ {
+			r.BuildIndex(col)
+		}
+	}
+}
+
+// String summarizes relation cardinalities, one per line.
+func (db *Database) String() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := db.schema.Names()
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s: %d tuples", n, db.relations[n].Len())
+	}
+	return b.String()
+}

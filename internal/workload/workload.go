@@ -1,0 +1,148 @@
+// Package workload generates random conjunctive-query workloads over a
+// schema, used by the coverage experiment (E7: which view sets "cover the
+// expected queries", paper §3) and by the rewriting-scalability sweeps.
+//
+// Queries are chain- or star-shaped joins with kind-compatible join
+// columns, and a configurable projection rate. Generation is deterministic
+// per seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// Shape selects the join topology.
+type Shape int
+
+// Join topologies.
+const (
+	// Chain joins atom i to atom i+1.
+	Chain Shape = iota
+	// Star joins every atom to the first.
+	Star
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case Chain:
+		return "chain"
+	case Star:
+		return "star"
+	default:
+		return fmt.Sprintf("shape(%d)", int(s))
+	}
+}
+
+// Config parameterizes workload generation.
+type Config struct {
+	Queries     int
+	MinAtoms    int
+	MaxAtoms    int
+	ProjectRate float64 // probability that a variable is kept in the head
+	Shape       Shape
+	Seed        int64
+}
+
+// DefaultConfig returns a modest chain workload.
+func DefaultConfig() Config {
+	return Config{Queries: 50, MinAtoms: 1, MaxAtoms: 3, ProjectRate: 0.5, Shape: Chain, Seed: 1}
+}
+
+// Generate builds the workload. Every produced query is validated; queries
+// the generator cannot join (no kind-compatible columns) degrade to
+// cartesian products, which are still legal CQs.
+func Generate(s *schema.Schema, cfg Config) ([]*cq.Query, error) {
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("workload: empty schema")
+	}
+	if cfg.MinAtoms < 1 || cfg.MaxAtoms < cfg.MinAtoms {
+		return nil, fmt.Errorf("workload: invalid atom bounds [%d,%d]", cfg.MinAtoms, cfg.MaxAtoms)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	names := s.Names()
+	out := make([]*cq.Query, 0, cfg.Queries)
+	for qi := 0; qi < cfg.Queries; qi++ {
+		natoms := cfg.MinAtoms + rng.Intn(cfg.MaxAtoms-cfg.MinAtoms+1)
+		q := &cq.Query{Name: fmt.Sprintf("W%d", qi)}
+		varID := 0
+		var atomVars [][]colVar
+		for a := 0; a < natoms; a++ {
+			rel := s.Relation(names[rng.Intn(len(names))])
+			terms := make([]cq.Term, rel.Arity())
+			vars := make([]colVar, rel.Arity())
+			for c := 0; c < rel.Arity(); c++ {
+				v := fmt.Sprintf("X%d", varID)
+				varID++
+				terms[c] = cq.Var(v)
+				vars[c] = colVar{name: v, kind: int(rel.Attributes[c].Kind)}
+			}
+			q.Body = append(q.Body, cq.NewAtom(rel.Name, terms...))
+			atomVars = append(atomVars, vars)
+		}
+		// Join: unify a kind-compatible variable pair per adjacent atom
+		// pair (chain) or per (0, i) pair (star).
+		for a := 1; a < natoms; a++ {
+			left := a - 1
+			if cfg.Shape == Star {
+				left = 0
+			}
+			pairs := compatiblePairs(atomVars[left], atomVars[a])
+			if len(pairs) == 0 {
+				continue // cartesian product; still a valid CQ
+			}
+			p := pairs[rng.Intn(len(pairs))]
+			// Rename the right variable to the left one everywhere.
+			sub := map[string]cq.Term{atomVars[a][p[1]].name: cq.Var(atomVars[left][p[0]].name)}
+			renamed := q.Substitute(sub)
+			q.Body = renamed.Body
+			atomVars[a][p[1]].name = atomVars[left][p[0]].name
+		}
+		// Head: project a random non-empty subset of variables.
+		var head []cq.Term
+		seen := map[string]bool{}
+		for _, vars := range atomVars {
+			for _, v := range vars {
+				if seen[v.name] {
+					continue
+				}
+				seen[v.name] = true
+				if rng.Float64() < cfg.ProjectRate {
+					head = append(head, cq.Var(v.name))
+				}
+			}
+		}
+		if len(head) == 0 {
+			// Guarantee safety: project the first variable.
+			head = append(head, cq.Var(atomVars[0][0].name))
+		}
+		q.Head = head
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: generated invalid query: %w", err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// colVar tracks a generated variable and the kind of the column it fills.
+type colVar struct {
+	name string
+	kind int
+}
+
+func compatiblePairs(left, right []colVar) [][2]int {
+	var pairs [][2]int
+	for i, l := range left {
+		for j, r := range right {
+			if l.kind == r.kind && l.name != r.name {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	return pairs
+}

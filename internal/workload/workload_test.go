@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/gtopdb"
+	"repro/internal/schema"
+)
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	s := gtopdb.Schema()
+	cfg := DefaultConfig()
+	cfg.Queries = 40
+	a, err := Generate(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 40 {
+		t.Fatalf("got %d queries", len(a))
+	}
+	b, err := Generate(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("query %d differs across runs:\n%s\n%s", i, a[i], b[i])
+		}
+		if err := a[i].Validate(); err != nil {
+			t.Errorf("invalid generated query: %v", err)
+		}
+	}
+	c, err := Generate(s, Config{Queries: 40, MinAtoms: 1, MaxAtoms: 3, ProjectRate: 0.5, Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].String() == c[i].String() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestGenerateAtomBounds(t *testing.T) {
+	s := gtopdb.Schema()
+	qs, err := Generate(s, Config{Queries: 60, MinAtoms: 2, MaxAtoms: 4, ProjectRate: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if len(q.Body) < 2 || len(q.Body) > 4 {
+			t.Errorf("query %s has %d atoms, want 2..4", q.Name, len(q.Body))
+		}
+	}
+}
+
+func TestGeneratedQueriesEvaluate(t *testing.T) {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 20
+	db := gtopdb.Generate(cfg)
+	qs, err := Generate(db.Schema(), Config{Queries: 30, MinAtoms: 1, MaxAtoms: 3, ProjectRate: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for _, q := range qs {
+		rows, err := eval.Eval(db, q)
+		if err != nil {
+			t.Fatalf("evaluating %s: %v", q, err)
+		}
+		if len(rows) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Error("every generated query evaluated empty; joins are broken")
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	s := gtopdb.Schema()
+	qs, err := Generate(s, Config{Queries: 20, MinAtoms: 3, MaxAtoms: 3, ProjectRate: 0.9, Shape: Star, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 20 {
+		t.Fatalf("got %d", len(qs))
+	}
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Errorf("invalid star query: %v", err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := gtopdb.Schema()
+	if _, err := Generate(s, Config{Queries: 1, MinAtoms: 0, MaxAtoms: 2}); err == nil {
+		t.Error("MinAtoms=0 accepted")
+	}
+	if _, err := Generate(s, Config{Queries: 1, MinAtoms: 3, MaxAtoms: 2}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := Generate(schema.New(), DefaultConfig()); err == nil {
+		t.Error("empty schema accepted")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if Chain.String() != "chain" || Star.String() != "star" {
+		t.Error("shape names wrong")
+	}
+}

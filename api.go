@@ -17,6 +17,14 @@ import (
 
 // System is a citation-enabled database: versioned storage, a citation
 // view registry, and a rewriting-based citation generator.
+//
+// A System is safe for concurrent use once its views are defined: Cite,
+// CiteQuery and the batched CiteAll run in parallel against shared
+// singleflight caches, while Commit serializes against in-flight citations
+// and atomically invalidates the caches. System.CiteAll cites a whole
+// batch of queries with bounded parallelism (System.SetParallelism tunes
+// the worker pools; 1 forces sequential evaluation). See DESIGN.md §3 for
+// the locking and invalidation rules.
 type System = core.System
 
 // CitationSpec pairs a citation query with its field mapping when defining

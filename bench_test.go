@@ -256,6 +256,32 @@ func BenchmarkE9ViewAdvisor(b *testing.B) {
 	}
 }
 
+// BenchmarkE10ConcurrentCite measures citation-serving throughput at
+// 1/4/16 concurrent citers draining a shared iteration budget over the
+// gtopdb-style workload — the concurrent-engine counterpart of E3. The
+// per-op time is the wall-clock per citation; throughput is its inverse.
+// cmd/citebench reports the same sweep (citebench -only E10 -json).
+func BenchmarkE10ConcurrentCite(b *testing.B) {
+	sys, err := experiments.GtoPdbSystem(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Commit("bench base")
+	for _, q := range experiments.E10Workload() { // warm the shared caches
+		if _, err := sys.Cite(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, citers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("citers-%d", citers), func(b *testing.B) {
+			b.ResetTimer()
+			if err := experiments.DrainCites(sys, citers, b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkE8AnnotationOverhead compares plain evaluation with annotated
 // evaluation across semirings on a two-way join.
 func BenchmarkE8AnnotationOverhead(b *testing.B) {

@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	citebench            # run everything
-//	citebench -only E2   # run one experiment
+//	citebench             # run everything
+//	citebench -only E2    # run one experiment
+//	citebench -json       # emit the tables as a JSON array
+//	citebench -only E10 -json
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
 	"strings"
@@ -22,37 +23,48 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("citebench: ")
-	only := flag.String("only", "", "run a single experiment (E0..E8)")
+	suite := experiments.Suite()
+	first, last := suite[0].ID, suite[len(suite)-1].ID
+	only := flag.String("only", "", "run a single experiment ("+first+".."+last+")")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of aligned tables")
 	flag.Parse()
 
-	if *only == "" {
-		if err := experiments.All(os.Stdout); err != nil {
+	selected := suite
+	if *only != "" {
+		selected = nil
+		for _, e := range suite {
+			if e.ID == strings.ToUpper(*only) {
+				selected = []experiments.Experiment{e}
+				break
+			}
+		}
+		if selected == nil {
+			log.Fatalf("unknown experiment %q (want %s..%s)", *only, first, last)
+		}
+	}
+
+	if *asJSON {
+		var tables []*experiments.Table
+		for _, e := range selected {
+			t, err := e.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			tables = append(tables, t)
+		}
+		if err := experiments.WriteJSON(os.Stdout, tables); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	runners := map[string]func() (*experiments.Table, error){
-		"E0": experiments.E0PaperExample,
-		"E1": experiments.E1RewritingSearch,
-		"E2": experiments.E2CitationSize,
-		"E3": experiments.E3GenerationLatency,
-		"E4": experiments.E4Incremental,
-		"E5": experiments.E5MiniConVsBucket,
-		"E6": experiments.E6Fixity,
-		"E7": experiments.E7Coverage,
-		"E8": experiments.E8AnnotationOverhead,
-		"E9": experiments.E9ViewAdvisor,
-	}
-	run, ok := runners[strings.ToUpper(*only)]
-	if !ok {
-		log.Fatalf("unknown experiment %q (want E0..E9)", *only)
-	}
-	t, err := run()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := t.Write(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	// Table mode streams: each table prints as its experiment completes.
+	for _, e := range selected {
+		t, err := e.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := t.Write(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -65,11 +65,11 @@ func (g *Generator) estimateDistinct(v *View, p string) (int, error) {
 	return 0, fmt.Errorf("citation: view %s: parameter %s does not occur in the body", v.Name(), p)
 }
 
-// selectByEstimate picks the rewriting the +R policy would choose, using
-// schema-level size estimates instead of evaluated citations. MinSize picks
-// the smallest estimate, MaxCoverage the largest; ties break toward the
-// earlier rewriting in the engine's deterministic order.
-func (g *Generator) selectByEstimate(rws []*rewrite.Rewriting) (*rewrite.Rewriting, error) {
+// selectByEstimate picks the rewriting the +R policy pol would choose,
+// using schema-level size estimates instead of evaluated citations. MinSize
+// picks the smallest estimate, MaxCoverage the largest; ties break toward
+// the earlier rewriting in the engine's deterministic order.
+func (g *Generator) selectByEstimate(rws []*rewrite.Rewriting, pol policy.Policy) (*rewrite.Rewriting, error) {
 	if len(rws) == 0 {
 		return nil, ErrNoRewriting
 	}
@@ -84,7 +84,7 @@ func (g *Generator) selectByEstimate(rws []*rewrite.Rewriting) (*rewrite.Rewriti
 			return nil, err
 		}
 		better := est < bestEst
-		if g.pol.AltR == policy.MaxCoverage {
+		if pol.AltR == policy.MaxCoverage {
 			better = est > bestEst
 		}
 		if better {

@@ -3,8 +3,10 @@ package citation
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/citeexpr"
 	"repro/internal/cq"
@@ -23,10 +25,21 @@ var ErrNoRewriting = errors.New("citation: query has no rewriting over the regis
 
 // Generator constructs citations for conjunctive queries over one database
 // using one view registry and one combination policy.
+//
+// A Generator is safe for concurrent Cite calls: the materialization cache
+// is singleflight (each view is materialized exactly once under concurrent
+// demand, later callers block until it is ready), the citation-record cache
+// is mutex-guarded, and alternative rewritings are evaluated by a bounded
+// worker pool. The configuration fields (Method, AllowPartial, CostPruned,
+// MaxRewritings, Parallelism) must be set before the generator is shared
+// across goroutines; the view registry must likewise be fully populated
+// first.
 type Generator struct {
 	reg *Registry
 	db  *storage.Database
-	pol policy.Policy
+
+	polMu sync.RWMutex
+	pol   policy.Policy
 
 	// Method selects the rewriting algorithm.
 	Method rewrite.Method
@@ -41,11 +54,36 @@ type Generator struct {
 	CostPruned bool
 	// MaxRewritings caps the rewriting search (0 = unlimited).
 	MaxRewritings int
+	// Parallelism bounds the workers used to evaluate alternative
+	// rewritings (and, when only one rewriting survives, to partition its
+	// join). 0 means GOMAXPROCS; 1 forces sequential evaluation.
+	Parallelism int
 
-	viewCache  map[string]*storage.Relation
-	atomCache  map[string]format.Record
-	paramPos   map[string][]int
-	statsDirty bool
+	viewMu    sync.RWMutex
+	viewCache map[string]*viewEntry
+	paramPos  map[string][]int
+
+	atomMu    sync.Mutex
+	atomCache map[string]*atomEntry
+}
+
+// viewEntry is one singleflight materialization slot: the goroutine that
+// creates the entry evaluates the view and closes ready; every other
+// goroutine asking for the same view blocks on ready instead of repeating
+// the work.
+type viewEntry struct {
+	ready chan struct{}
+	rel   *storage.Relation
+	err   error
+}
+
+// atomEntry is the singleflight slot for one resolved citation atom,
+// mirroring viewEntry: concurrent demand for a hot atom runs its citation
+// queries exactly once per cache generation.
+type atomEntry struct {
+	ready chan struct{}
+	rec   format.Record
+	err   error
 }
 
 // NewGenerator builds a Generator with the paper's default policy.
@@ -54,17 +92,25 @@ func NewGenerator(reg *Registry, db *storage.Database) *Generator {
 		reg:       reg,
 		db:        db,
 		pol:       policy.Default(),
-		viewCache: make(map[string]*storage.Relation),
-		atomCache: make(map[string]format.Record),
+		viewCache: make(map[string]*viewEntry),
+		atomCache: make(map[string]*atomEntry),
 		paramPos:  make(map[string][]int),
 	}
 }
 
 // SetPolicy replaces the combination policy.
-func (g *Generator) SetPolicy(p policy.Policy) { g.pol = p }
+func (g *Generator) SetPolicy(p policy.Policy) {
+	g.polMu.Lock()
+	defer g.polMu.Unlock()
+	g.pol = p
+}
 
 // Policy returns the current combination policy.
-func (g *Generator) Policy() policy.Policy { return g.pol }
+func (g *Generator) Policy() policy.Policy {
+	g.polMu.RLock()
+	defer g.polMu.RUnlock()
+	return g.pol
+}
 
 // Registry returns the generator's view registry.
 func (g *Generator) Registry() *Registry { return g.reg }
@@ -72,12 +118,29 @@ func (g *Generator) Registry() *Registry { return g.reg }
 // Database returns the generator's database.
 func (g *Generator) Database() *storage.Database { return g.db }
 
+// workers resolves the effective worker-pool width.
+func (g *Generator) workers() int {
+	if g.Parallelism > 0 {
+		return g.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // InvalidateCache drops materialized views and resolved citation records;
-// call after modifying the database. The evolution package refreshes the
+// call after modifying the database (core.System does this on every
+// Commit). In-flight materializations finish against the orphaned entries
+// and are re-done on next demand. paramPos is deliberately retained: it is
+// derived from view definitions, not data, and an in-flight Cite's
+// annotator may still be reading it. The evolution package refreshes the
 // caches incrementally instead.
 func (g *Generator) InvalidateCache() {
-	g.viewCache = make(map[string]*storage.Relation)
-	g.atomCache = make(map[string]format.Record)
+	g.viewMu.Lock()
+	g.viewCache = make(map[string]*viewEntry)
+	g.viewMu.Unlock()
+
+	g.atomMu.Lock()
+	g.atomCache = make(map[string]*atomEntry)
+	g.atomMu.Unlock()
 }
 
 // TupleCitation is the citation of a single answer tuple: its full formal
@@ -110,13 +173,24 @@ type Result struct {
 	Stats      Stats
 }
 
+// branch is the annotated evaluation of one rewriting: tuple key ->
+// Σ_B Π_i CV_i(B_i).
+type branch struct {
+	exprs     map[string]citeexpr.Expr
+	annotated []eval.Annotated[citeexpr.Expr]
+}
+
 // Cite constructs the citation for q's answer over the generator's
 // database (Definitions 2.1 and 2.2 plus the Agg step). The query must
-// range over base relations.
+// range over base relations. Alternative rewritings are evaluated in
+// parallel (bounded by Parallelism); when a single rewriting survives
+// pruning, its join is partitioned instead. Both strategies produce
+// expressions identical to sequential evaluation.
 func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	pol := g.Policy()
 	res := &Result{Query: q}
 
 	rres, err := rewrite.Rewrite(q, g.reg.ViewQueries(), rewrite.Options{
@@ -151,8 +225,8 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 	res.Stats.RewritingsFound = len(rewritings)
 
 	evalSet := rewritings
-	if g.CostPruned && g.pol.AltR != policy.AllBranches {
-		best, err := g.selectByEstimate(rewritings)
+	if g.CostPruned && pol.AltR != policy.AllBranches {
+		best, err := g.selectByEstimate(rewritings, pol)
 		if err != nil {
 			return nil, err
 		}
@@ -160,34 +234,23 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 		res.Stats.Pruned = true
 	}
 
-	// Evaluate each rewriting with citation-expression annotations.
-	type branch struct {
-		exprs map[string]citeexpr.Expr // tuple key -> Σ_B Π_i CV_i(B_i)
+	branches, err := g.evalBranches(evalSet)
+	if err != nil {
+		return nil, err
 	}
-	branches := make([]branch, 0, len(evalSet))
+	res.Stats.RewritingsEvaluated = len(evalSet)
+
 	tupleByKey := make(map[string]storage.Tuple)
 	var keyOrder []string
-	for _, rw := range evalSet {
-		inst, err := g.instanceFor(rw)
-		if err != nil {
-			return nil, err
-		}
-		annotated, err := eval.EvalAnnotated[citeexpr.Expr](inst, rw.AsQuery("rw"), citeexpr.Semiring{}, g.annotator())
-		if err != nil {
-			return nil, err
-		}
-		b := branch{exprs: make(map[string]citeexpr.Expr, len(annotated))}
-		for _, a := range annotated {
+	for _, b := range branches {
+		for _, a := range b.annotated {
 			k := a.Tuple.Key()
-			b.exprs[k] = a.Annotation
 			if _, seen := tupleByKey[k]; !seen {
 				tupleByKey[k] = a.Tuple
 				keyOrder = append(keyOrder, k)
 			}
 		}
-		branches = append(branches, b)
 	}
-	res.Stats.RewritingsEvaluated = len(evalSet)
 	sort.Strings(keyOrder)
 
 	// Choose the +R branch globally, the way the paper's closing example
@@ -198,7 +261,7 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 	// for the entire result. Per-tuple expressions still record every
 	// branch; only the policy evaluation commits to the chosen one.
 	chosen := -1
-	if g.pol.AltR != policy.AllBranches && len(branches) > 1 {
+	if pol.AltR != policy.AllBranches && len(branches) > 1 {
 		sizes := make([]int, len(branches))
 		for i, b := range branches {
 			atoms := make(map[string]bool)
@@ -211,7 +274,7 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 		}
 		chosen = 0
 		for i := 1; i < len(sizes); i++ {
-			if g.pol.AltR == policy.MaxCoverage {
+			if pol.AltR == policy.MaxCoverage {
 				if sizes[i] > sizes[chosen] {
 					chosen = i
 				}
@@ -239,12 +302,12 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 				// The chosen branch somehow misses this tuple (cannot
 				// happen for certified rewritings); fall back to the
 				// per-tuple selection.
-				selected = g.pol.SelectBranch(children)
+				selected = pol.SelectBranch(children)
 			}
 		} else {
-			selected = g.pol.SelectBranch(children)
+			selected = pol.SelectBranch(children)
 		}
-		rec, err := g.pol.Eval(selected, resolver)
+		rec, err := pol.Eval(selected, resolver)
 		if err != nil {
 			return nil, err
 		}
@@ -257,12 +320,78 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 		aggChildren = append(aggChildren, selected)
 	}
 	res.Expr = citeexpr.Agg{Children: aggChildren}
-	rec, err := g.pol.Eval(res.Expr, resolver)
+	rec, err := pol.Eval(res.Expr, resolver)
 	if err != nil {
 		return nil, err
 	}
 	res.Record = rec
 	return res, nil
+}
+
+// evalBranches evaluates every rewriting with citation-expression
+// annotations. A single rewriting is partitioned internally
+// (eval.EvalAnnotatedParallel); several rewritings are distributed over a
+// bounded worker pool, one sequential evaluation each. Results are indexed
+// by rewriting, so the outcome is deterministic regardless of scheduling.
+func (g *Generator) evalBranches(evalSet []*rewrite.Rewriting) ([]branch, error) {
+	workers := g.workers()
+	annot := g.annotator()
+	evalOne := func(rw *rewrite.Rewriting, innerWorkers int) (branch, error) {
+		inst, err := g.instanceFor(rw)
+		if err != nil {
+			return branch{}, err
+		}
+		annotated, err := eval.EvalAnnotatedParallel[citeexpr.Expr](
+			inst, rw.AsQuery("rw"), citeexpr.Semiring{}, annot, innerWorkers)
+		if err != nil {
+			return branch{}, err
+		}
+		b := branch{annotated: annotated, exprs: make(map[string]citeexpr.Expr, len(annotated))}
+		for _, a := range annotated {
+			b.exprs[a.Tuple.Key()] = a.Annotation
+		}
+		return b, nil
+	}
+
+	branches := make([]branch, len(evalSet))
+	if len(evalSet) == 1 {
+		b, err := evalOne(evalSet[0], workers)
+		if err != nil {
+			return nil, err
+		}
+		branches[0] = b
+		return branches, nil
+	}
+	if workers <= 1 {
+		for i, rw := range evalSet {
+			b, err := evalOne(rw, 1)
+			if err != nil {
+				return nil, err
+			}
+			branches[i] = b
+		}
+		return branches, nil
+	}
+
+	errs := make([]error, len(evalSet))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, rw := range evalSet {
+		wg.Add(1)
+		go func(i int, rw *rewrite.Rewriting) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			branches[i], errs[i] = evalOne(rw, 1)
+		}(i, rw)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return branches, nil
 }
 
 // CiteTuple returns the citation of a single answer tuple of q, or an
@@ -311,47 +440,72 @@ func (l layeredInstance) Relation(name string) *storage.Relation {
 	return l.base.Relation(name)
 }
 
-// materialize evaluates the named view over the database, caching the
-// result and building indexes on every column.
+// materialize evaluates the named view over the database with singleflight
+// caching: under concurrent demand exactly one goroutine performs the
+// evaluation, the rest block until the instance is ready. A failed
+// materialization is not cached, so transient errors are retried on next
+// demand.
 func (g *Generator) materialize(viewName string) (*storage.Relation, error) {
-	if r, ok := g.viewCache[viewName]; ok {
-		return r, nil
+	g.viewMu.Lock()
+	if e, ok := g.viewCache[viewName]; ok {
+		g.viewMu.Unlock()
+		<-e.ready
+		return e.rel, e.err
 	}
+	e := &viewEntry{ready: make(chan struct{})}
+	g.viewCache[viewName] = e
+	g.viewMu.Unlock()
+
+	rel, pos, err := g.materializeView(viewName)
+	g.viewMu.Lock()
+	if err == nil {
+		g.paramPos[viewName] = pos
+	} else if g.viewCache[viewName] == e {
+		delete(g.viewCache, viewName)
+	}
+	g.viewMu.Unlock()
+	e.rel, e.err = rel, err
+	close(e.ready)
+	return rel, err
+}
+
+// materializeView performs the actual view evaluation and indexing.
+func (g *Generator) materializeView(viewName string) (*storage.Relation, []int, error) {
 	v := g.reg.View(viewName)
 	if v == nil {
-		return nil, fmt.Errorf("citation: unknown view %s", viewName)
+		return nil, nil, fmt.Errorf("citation: unknown view %s", viewName)
 	}
 	rs, err := v.HeadSchema(g.reg.Schema())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	inst := storage.NewRelation(rs)
 	if err := eval.Materialize(g.db, v.Query, inst); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for col := 0; col < rs.Arity(); col++ {
 		inst.BuildIndex(col)
 	}
 	pos, err := v.ParamPositions()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	g.paramPos[viewName] = pos
-	g.viewCache[viewName] = inst
-	return inst, nil
+	return inst, pos, nil
 }
 
 // annotator returns the base-annotation function for annotated evaluation:
 // a view tuple is annotated with the citation atom CV(params) built from
 // the tuple's parameter columns; base-relation tuples (partial rewritings)
-// are neutral.
+// are neutral. The returned function is safe for concurrent calls.
 func (g *Generator) annotator() func(pred string, t storage.Tuple) citeexpr.Expr {
 	return func(pred string, t storage.Tuple) citeexpr.Expr {
 		v := g.reg.View(pred)
 		if v == nil {
 			return citeexpr.Joint{} // base relation: neutral annotation
 		}
+		g.viewMu.RLock()
 		pos := g.paramPos[pred]
+		g.viewMu.RUnlock()
 		params := make([]value.Value, len(pos))
 		for i, p := range pos {
 			params[i] = t[p]
@@ -362,22 +516,36 @@ func (g *Generator) annotator() func(pred string, t storage.Tuple) citeexpr.Expr
 
 // resolver returns a caching policy.Resolver that evaluates a view's
 // citation queries with the atom's parameter values and applies the view's
-// citation function.
+// citation function. The cache is shared across concurrent Cite calls and
+// singleflight: a hot atom demanded by many citers at once is resolved by
+// exactly one of them (failures are evicted so they retry).
 func (g *Generator) resolver(stats *Stats) policy.Resolver {
 	return func(a citeexpr.Atom) (format.Record, error) {
 		key := a.Key()
-		if rec, ok := g.atomCache[key]; ok {
-			return rec, nil
+		g.atomMu.Lock()
+		if e, ok := g.atomCache[key]; ok {
+			g.atomMu.Unlock()
+			<-e.ready
+			return e.rec, e.err
 		}
+		e := &atomEntry{ready: make(chan struct{})}
+		g.atomCache[key] = e
+		g.atomMu.Unlock()
+
 		rec, err := g.ResolveAtom(a)
 		if err != nil {
-			return nil, err
+			g.atomMu.Lock()
+			if g.atomCache[key] == e {
+				delete(g.atomCache, key)
+			}
+			g.atomMu.Unlock()
 		}
-		g.atomCache[key] = rec
-		if stats != nil {
+		e.rec, e.err = rec, err
+		close(e.ready)
+		if err == nil && stats != nil {
 			stats.AtomsResolved++
 		}
-		return rec, nil
+		return rec, err
 	}
 }
 
@@ -389,16 +557,29 @@ func (g *Generator) Materialized(name string) (*storage.Relation, error) {
 	return g.materialize(name)
 }
 
-// IsMaterialized reports whether the view is currently in the cache.
+// IsMaterialized reports whether the view is currently in the cache (a
+// materialization still in flight does not count).
 func (g *Generator) IsMaterialized(name string) bool {
-	_, ok := g.viewCache[name]
-	return ok
+	g.viewMu.RLock()
+	e, ok := g.viewCache[name]
+	g.viewMu.RUnlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.ready:
+		return e.err == nil
+	default:
+		return false
+	}
 }
 
 // InvalidateAtoms drops cached citation records for one view (all
 // parameter instantiations). The evolution package calls this when a delta
 // touches a relation referenced by the view's citation queries.
 func (g *Generator) InvalidateAtoms(view string) {
+	g.atomMu.Lock()
+	defer g.atomMu.Unlock()
 	prefix := "C" + view
 	for k := range g.atomCache {
 		if strings.HasPrefix(k, prefix) &&

@@ -8,7 +8,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/citation"
 	"repro/internal/citestore"
@@ -23,7 +25,19 @@ import (
 // System is a citation-enabled database: a versioned store plus a view
 // registry, a combination policy, and a citation generator bound to the
 // store's head.
+//
+// A System serves concurrent callers: any number of Cite/CiteQuery/CiteAll
+// calls may run in parallel with each other (they share the generator's
+// singleflight materialization cache), while Commit, DefineView and
+// SetPolicy take the write side of the system lock — a Commit therefore
+// observes no in-flight citations and atomically invalidates the
+// generator's caches before the next Cite proceeds.
 type System struct {
+	// mu is the engine-wide readers/writer lock: Cite-family calls hold it
+	// shared, state-changing calls (Commit, DefineView, SetPolicy,
+	// SetParallelism) hold it exclusively.
+	mu    sync.RWMutex
+	par   int // bounded parallelism for CiteAll (0 = GOMAXPROCS)
 	store *fixity.Store
 	reg   *citation.Registry
 	gen   *citation.Generator
@@ -71,12 +85,39 @@ func (s *System) Generator() *citation.Generator { return s.gen }
 func (s *System) Database() *storage.Database { return s.store.Head() }
 
 // SetPolicy replaces the combination policy.
-func (s *System) SetPolicy(p policy.Policy) { s.gen.SetPolicy(p) }
+func (s *System) SetPolicy(p policy.Policy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen.SetPolicy(p)
+}
+
+// SetParallelism bounds the worker pools used by the citation engine: the
+// per-query rewriting evaluation and the CiteAll batch fan-out. 0 (the
+// default) means GOMAXPROCS; 1 forces fully sequential evaluation, which
+// is useful to compare parallel and sequential citation output.
+func (s *System) SetParallelism(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.par = n
+	s.gen.Parallelism = n
+}
+
+// parallelism resolves the effective CiteAll fan-out width.
+func (s *System) parallelism() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.par > 0 {
+		return s.par
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // DefineView parses and registers a citation view in one step: viewSrc is
 // the view query in datalog syntax; each CitationSpec pairs a citation
 // query with its field mapping.
 func (s *System) DefineView(viewSrc string, static format.Record, specs ...CitationSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	vq, err := cq.Parse(viewSrc)
 	if err != nil {
 		return fmt.Errorf("core: view query: %w", err)
@@ -102,9 +143,17 @@ type CitationSpec struct {
 	Fields []string
 }
 
-// Commit snapshots the head as a new immutable version.
+// Commit snapshots the head as a new immutable version and atomically
+// invalidates the generator's materialization and citation-record caches:
+// no Cite call is in flight while the caches turn over, so a citation is
+// always generated against a consistent cache generation. Commit is the
+// synchronization point after mutating the head database directly (for
+// incremental maintenance without commits, see package evolution).
 func (s *System) Commit(message string) fixity.VersionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	info := s.store.Commit(message)
+	s.gen.InvalidateCache()
 	return info
 }
 
@@ -118,7 +167,8 @@ type Citation struct {
 
 // Cite parses querySrc, generates its citation against the head database,
 // and — when at least one version has been committed — attaches a fixity
-// pin computed against the latest version.
+// pin computed against the latest version. Cite holds the system lock
+// shared, so any number of citations are generated concurrently.
 func (s *System) Cite(querySrc string) (*Citation, error) {
 	q, err := cq.Parse(querySrc)
 	if err != nil {
@@ -129,6 +179,8 @@ func (s *System) Cite(querySrc string) (*Citation, error) {
 
 // CiteQuery is Cite for an already-parsed query.
 func (s *System) CiteQuery(q *cq.Query) (*Citation, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	res, err := s.gen.Cite(q)
 	if err != nil {
 		return nil, err
@@ -140,6 +192,63 @@ func (s *System) CiteQuery(q *cq.Query) (*Citation, error) {
 			return nil, err
 		}
 		out.Pin = &pin
+	}
+	return out, nil
+}
+
+// CiteAll generates citations for a batch of queries with bounded
+// parallelism (SetParallelism; default GOMAXPROCS). Results are positional:
+// out[i] is the citation of queries[i]. The queries share one cache
+// generation, so a view referenced by many batch members is materialized
+// once (singleflight) and its citation records are resolved once. On error
+// the first failure in query order is returned along with the partial
+// results (failed or unprocessed positions are nil).
+//
+// Each query acquires the system lock independently: a batch does not
+// starve Commit, and a Commit that lands mid-batch is observed by the
+// remaining queries' fixity pins.
+func (s *System) CiteAll(queries []string) ([]*Citation, error) {
+	qs := make([]*cq.Query, len(queries))
+	for i, src := range queries {
+		q, err := cq.Parse(src)
+		if err != nil {
+			return make([]*Citation, len(queries)), fmt.Errorf("core: query %d: %w", i, err)
+		}
+		qs[i] = q
+	}
+	out := make([]*Citation, len(queries))
+	errs := make([]error, len(queries))
+	workers := s.parallelism()
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			out[i], errs[i] = s.CiteQuery(q)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i], errs[i] = s.CiteQuery(qs[i])
+				}
+			}()
+		}
+		for i := range qs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			out[i] = nil
+			return out, fmt.Errorf("core: query %d: %w", i, err)
+		}
 	}
 	return out, nil
 }

@@ -213,6 +213,14 @@ func matchAtom(inst Instance, a cq.Atom, b Binding) []storage.Tuple {
 // invoking fn with the binding and the matched tuple per atom (parallel to
 // atoms). fn returning false stops the walk.
 func enumerate(inst Instance, atoms []cq.Atom, fn func(Binding, []storage.Tuple) bool) {
+	enumerateLeading(inst, atoms, nil, fn)
+}
+
+// enumerateLeading is enumerate with the leading atom's candidate tuples
+// supplied by the caller (nil means compute them via matchAtom). The
+// parallel annotated evaluator injects one contiguous chunk of the leading
+// candidates per worker; everything else shares this single recursion.
+func enumerateLeading(inst Instance, atoms []cq.Atom, leading []storage.Tuple, fn func(Binding, []storage.Tuple) bool) {
 	matched := make([]storage.Tuple, len(atoms))
 	b := make(Binding)
 	var rec func(i int) bool
@@ -221,7 +229,11 @@ func enumerate(inst Instance, atoms []cq.Atom, fn func(Binding, []storage.Tuple)
 			return fn(b, matched)
 		}
 		a := atoms[i]
-		for _, t := range matchAtom(inst, a, b) {
+		cands := leading
+		if i > 0 || cands == nil {
+			cands = matchAtom(inst, a, b)
+		}
+		for _, t := range cands {
 			var newly []string
 			for j, term := range a.Terms {
 				if term.IsVar {
@@ -330,52 +342,10 @@ func CountBindings(inst Instance, q *cq.Query) (int, error) {
 // each matched tuple is supplied by annot(predicate, tuple); per output
 // tuple the result is Σ over bindings of Π over body atoms, exactly the
 // semiring semantics of Green et al. Output order is deterministic.
+// EvalAnnotatedParallel is the same computation partitioned across
+// goroutines.
 func EvalAnnotated[T any](inst Instance, q *cq.Query, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T) ([]Annotated[T], error) {
-	if q.IsConstant() {
-		t := make(storage.Tuple, len(q.Head))
-		for i, term := range q.Head {
-			if term.IsVar {
-				return nil, fmt.Errorf("eval: unsafe constant query %s", q.Name)
-			}
-			t[i] = term.Const
-		}
-		return []Annotated[T]{{Tuple: t, Annotation: sr.One()}}, nil
-	}
-	atoms, err := orderAtoms(inst, q.Body)
-	if err != nil {
-		return nil, err
-	}
-	acc := make(map[string]*Annotated[T])
-	var order []string
-	var evalErr error
-	enumerate(inst, atoms, func(b Binding, matched []storage.Tuple) bool {
-		t, err := headTuple(q, b)
-		if err != nil {
-			evalErr = err
-			return false
-		}
-		prod := sr.One()
-		for i, a := range atoms {
-			prod = sr.Times(prod, annot(a.Predicate, matched[i]))
-		}
-		k := t.Key()
-		if cur, ok := acc[k]; ok {
-			cur.Annotation = sr.Plus(cur.Annotation, prod)
-		} else {
-			acc[k] = &Annotated[T]{Tuple: t.Clone(), Annotation: prod}
-			order = append(order, k)
-		}
-		return true
-	})
-	if evalErr != nil {
-		return nil, evalErr
-	}
-	out := make([]Annotated[T], 0, len(acc))
-	for _, k := range order {
-		out = append(out, *acc[k])
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
-	return out, nil
+	return EvalAnnotatedParallel(inst, q, sr, annot, 1)
 }
 
 // Materialize evaluates q and loads its distinct answers into a fresh

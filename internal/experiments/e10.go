@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// e10Citers are the concurrency levels the experiment sweeps.
+var e10Citers = []int{1, 4, 16}
+
+// E10Workload is the mixed gtopdb-style query set concurrent citers draw
+// from, shared by the E10 experiment and BenchmarkE10ConcurrentCite.
+func E10Workload() []string {
+	return []string{
+		"Q1(FName) :- Family(FID, FName, Desc)",
+		"Q2(FName, Text) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)",
+		"Q3(FID, Text) :- FamilyIntro(FID, Text)",
+		"Q4(FName, Desc) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)",
+	}
+}
+
+// E10ConcurrentCite measures citation-serving throughput under concurrent
+// citers sharing one System — the engine's "heavy traffic" regime: a fixed
+// budget of citations is drained by 1, 4 and 16 goroutines calling
+// System.Cite over the gtopdb workload. The first row (one citer) is the
+// sequential baseline; identical citation output across citer counts is
+// asserted by the root-level determinism tests.
+func E10ConcurrentCite() (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "concurrent citation serving",
+		Claim: "citations must be generated \"for a wide variety of queries\" served to many users at once — throughput should scale with concurrent citers on a shared, contention-safe engine",
+		Header: []string{
+			"citers", "citations", "elapsed ms", "citations/s",
+		},
+	}
+	sys, err := GtoPdbSystem(300)
+	if err != nil {
+		return nil, err
+	}
+	sys.Commit("e10 base")
+	// Warm the shared caches so every sweep measures steady-state serving.
+	for _, q := range E10Workload() {
+		if _, err := sys.Cite(q); err != nil {
+			return nil, err
+		}
+	}
+	const budget = 400
+	for _, citers := range e10Citers {
+		start := time.Now()
+		if err := DrainCites(sys, citers, budget); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		persec := float64(budget) / elapsed.Seconds()
+		t.AddRow(
+			fmt.Sprintf("%d", citers),
+			fmt.Sprintf("%d", budget),
+			ms(elapsed),
+			fmt.Sprintf("%.0f", persec),
+		)
+	}
+	return t, nil
+}
+
+// DrainCites has citers goroutines drain a fixed budget of citations of
+// the E10 workload from the shared system — the drain loop the E10
+// experiment and BenchmarkE10ConcurrentCite both time.
+func DrainCites(sys *core.System, citers, budget int) error {
+	queries := E10Workload()
+	var next atomic.Int64
+	errs := make([]error, citers)
+	var wg sync.WaitGroup
+	for w := 0; w < citers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= budget {
+					return
+				}
+				if _, err := sys.Cite(queries[i%len(queries)]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"testing"
+)
+
+func TestE10ShapeAndJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrency sweep in -short mode")
+	}
+	tbl, err := E10ConcurrentCite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(e10Citers) {
+		t.Fatalf("rows %d, want %d", len(tbl.Rows), len(e10Citers))
+	}
+	for i, row := range tbl.Rows {
+		if row[0] != strconv.Itoa(e10Citers[i]) {
+			t.Errorf("row %d citers %q, want %d", i, row[0], e10Citers[i])
+		}
+		if atoi(t, row[3]) <= 0 {
+			t.Errorf("row %d throughput %q not positive", i, row[3])
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*Table{tbl}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Table
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0].ID != "E10" || len(decoded[0].Rows) != len(tbl.Rows) {
+		t.Fatalf("JSON round-trip lost data: %+v", decoded)
+	}
+}

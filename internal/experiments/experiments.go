@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -14,13 +15,13 @@ import (
 )
 
 // Table is one experiment's output: a header row and data rows, printed in
-// the aligned style of a paper table.
+// the aligned style of a paper table (or as JSON via WriteJSON).
 type Table struct {
-	ID     string
-	Title  string
-	Claim  string // the prose claim from the paper this table checks
-	Header []string
-	Rows   [][]string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Claim  string     `json:"claim,omitempty"` // the prose claim from the paper this table checks
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a row of stringified cells.
@@ -67,22 +68,35 @@ func ms(d time.Duration) string {
 	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e6)
 }
 
-// All runs every experiment and writes the tables.
-func All(w io.Writer) error {
-	runners := []func() (*Table, error){
-		E0PaperExample,
-		E1RewritingSearch,
-		E2CitationSize,
-		E3GenerationLatency,
-		E4Incremental,
-		E5MiniConVsBucket,
-		E6Fixity,
-		E7Coverage,
-		E8AnnotationOverhead,
-		E9ViewAdvisor,
+// Experiment pairs an experiment id with its runner, so drivers register
+// each experiment exactly once.
+type Experiment struct {
+	ID  string
+	Run func() (*Table, error)
+}
+
+// Suite returns every experiment in suite order.
+func Suite() []Experiment {
+	return []Experiment{
+		{"E0", E0PaperExample},
+		{"E1", E1RewritingSearch},
+		{"E2", E2CitationSize},
+		{"E3", E3GenerationLatency},
+		{"E4", E4Incremental},
+		{"E5", E5MiniConVsBucket},
+		{"E6", E6Fixity},
+		{"E7", E7Coverage},
+		{"E8", E8AnnotationOverhead},
+		{"E9", E9ViewAdvisor},
+		{"E10", E10ConcurrentCite},
 	}
-	for _, run := range runners {
-		t, err := run()
+}
+
+// All runs every experiment, streaming each table as its experiment
+// completes.
+func All(w io.Writer) error {
+	for _, e := range Suite() {
+		t, err := e.Run()
 		if err != nil {
 			return err
 		}
@@ -91,4 +105,12 @@ func All(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteJSON renders tables as an indented JSON array, for machine
+// consumption of citebench output.
+func WriteJSON(w io.Writer, tables []*Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tables)
 }

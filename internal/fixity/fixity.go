@@ -67,11 +67,13 @@ func (st *Store) Head() *storage.Database {
 }
 
 // Commit snapshots the head as a new immutable version and returns it.
+// Snapshots are copy-on-write (storage.Database.Snapshot): commit cost is
+// O(relations), and any number of Cite calls can read a committed version
+// concurrently without locking.
 func (st *Store) Commit(message string) VersionInfo {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	snap := st.head.Clone()
-	snap.BuildIndexes()
+	snap := st.head.Snapshot()
 	st.versions = append(st.versions, snap)
 	info := VersionInfo{
 		Version:   Version(len(st.versions)),

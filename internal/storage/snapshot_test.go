@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func snapSchema() *schema.Schema {
+	s := schema.New()
+	s.MustAdd(schema.MustRelation("R", []schema.Attribute{
+		{Name: "A", Kind: value.KindInt},
+		{Name: "B", Kind: value.KindString},
+	}))
+	return s
+}
+
+// TestSnapshotIsolation: mutations to the source relation after Snapshot
+// must not be visible through the snapshot — inserts, deletes, and the
+// compaction that insertion can trigger.
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRelation(snapSchema().Relation("R"))
+	for i := 0; i < 10; i++ {
+		r.MustInsert(value.Int(int64(i)), value.String(fmt.Sprintf("v%d", i)))
+	}
+	r.BuildIndex(0)
+
+	snap := r.Snapshot()
+	if !snap.Frozen() {
+		t.Fatal("snapshot not frozen")
+	}
+	if snap.Len() != 10 {
+		t.Fatalf("snapshot len %d, want 10", snap.Len())
+	}
+
+	// Mutate the source: delete half, insert new, force compaction.
+	for i := 0; i < 5; i++ {
+		if !r.Delete(Tuple{value.Int(int64(i)), value.String(fmt.Sprintf("v%d", i))}) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	for i := 100; i < 200; i++ {
+		r.MustInsert(value.Int(int64(i)), value.String("new"))
+	}
+	r.Compact()
+
+	if snap.Len() != 10 {
+		t.Fatalf("snapshot len changed to %d after source mutation", snap.Len())
+	}
+	for i := 0; i < 10; i++ {
+		want := Tuple{value.Int(int64(i)), value.String(fmt.Sprintf("v%d", i))}
+		if !snap.Contains(want) {
+			t.Errorf("snapshot lost tuple %s", want)
+		}
+		if got := snap.Lookup(0, value.Int(int64(i))); len(got) != 1 {
+			t.Errorf("snapshot indexed lookup of %d returned %d tuples", i, len(got))
+		}
+	}
+	if snap.Contains(Tuple{value.Int(100), value.String("new")}) {
+		t.Error("snapshot sees post-snapshot insert")
+	}
+	if r.Len() != 105 {
+		t.Fatalf("source len %d, want 105", r.Len())
+	}
+}
+
+// TestSnapshotWritePanics: a frozen snapshot must reject mutation loudly.
+func TestSnapshotWritePanics(t *testing.T) {
+	r := NewRelation(snapSchema().Relation("R"))
+	r.MustInsert(value.Int(1), value.String("x"))
+	snap := r.Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Error("insert into frozen snapshot did not panic")
+		}
+	}()
+	snap.MustInsert(value.Int(2), value.String("y"))
+}
+
+// TestDatabaseSnapshotImmutable: the database-level snapshot rejects writes
+// with an error and keeps serving its frozen contents.
+func TestDatabaseSnapshotImmutable(t *testing.T) {
+	db := NewDatabase(snapSchema())
+	if err := db.Insert("R", value.Int(1), value.String("x")); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	if !snap.Frozen() {
+		t.Fatal("snapshot not frozen")
+	}
+	if err := db.Insert("R", value.Int(2), value.String("y")); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Size() != 1 {
+		t.Fatalf("snapshot size %d, want 1", snap.Size())
+	}
+	if err := snap.Insert("R", value.Int(3), value.String("z")); err == nil {
+		t.Error("insert into frozen database succeeded")
+	}
+	if _, err := snap.Delete("R", value.Int(1), value.String("x")); err == nil {
+		t.Error("delete from frozen database succeeded")
+	}
+	// Snapshot ensured indexes exist on all columns for fast reads.
+	if !snap.Relation("R").HasIndex(0) || !snap.Relation("R").HasIndex(1) {
+		t.Error("snapshot missing ensured indexes")
+	}
+}
+
+// TestConcurrentReadersOneWriter hammers a live relation with concurrent
+// indexed reads, scans and snapshots while a writer inserts and deletes —
+// meaningful under -race.
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	r := NewRelation(snapSchema().Relation("R"))
+	for i := 0; i < 64; i++ {
+		r.MustInsert(value.Int(int64(i)), value.String("seed"))
+	}
+	r.BuildIndex(0)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Lookup(0, value.Int(int64(i%64)))
+				r.Len()
+				n := 0
+				r.Scan(func(Tuple) bool { n++; return n < 10 })
+				snap := r.Snapshot()
+				snap.Lookup(0, value.Int(int64(i%64)))
+			}
+		}(w)
+	}
+	for i := 64; i < 256; i++ {
+		r.MustInsert(value.Int(int64(i)), value.String("w"))
+		if i%3 == 0 {
+			r.Delete(Tuple{value.Int(int64(i - 64)), value.String("seed")})
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

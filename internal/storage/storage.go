@@ -8,6 +8,14 @@
 // complete enough to support the evaluation engine's index-nested-loop
 // joins, cardinality statistics for cost estimation, and copy-on-write
 // snapshots for the fixity subsystem.
+//
+// Concurrency model (see DESIGN.md §3): every Relation is safe for
+// concurrent readers and writers via an internal RWMutex. Snapshot produces
+// a frozen relation that shares the backing storage with its source; frozen
+// relations are immutable from birth, so their readers skip locking
+// entirely. The source relation detaches (copies the shared storage) before
+// its next mutation, making snapshot creation O(1) per relation no matter
+// how large the data is.
 package storage
 
 import (
@@ -86,9 +94,16 @@ func (t Tuple) String() string {
 }
 
 // Relation is a set-semantics collection of tuples conforming to a schema,
-// with lazily built hash indexes per column.
+// with lazily built hash indexes per column. It is safe for concurrent use;
+// frozen snapshots (see Snapshot) additionally serve readers without any
+// locking.
 type Relation struct {
-	schema  *schema.Relation
+	schema *schema.Relation
+
+	mu     sync.RWMutex
+	frozen bool // immutable snapshot: set at construction, never cleared
+	shared bool // backing storage shared with a snapshot; detach before writing
+
 	tuples  []Tuple
 	present map[string]int // tuple key -> index into tuples (or -1 if deleted)
 	indexes map[int]map[value.Value][]int
@@ -106,16 +121,98 @@ func NewRelation(rs *schema.Relation) *Relation {
 // Schema returns the relation's schema.
 func (r *Relation) Schema() *schema.Relation { return r.schema }
 
+// Frozen reports whether the relation is an immutable snapshot.
+func (r *Relation) Frozen() bool { return r.frozen }
+
+// rLock acquires the read lock unless the relation is frozen (immutable
+// from birth, so lock-free reads are safe). Callers must pair it with
+// rUnlock.
+func (r *Relation) rLock() {
+	if !r.frozen {
+		r.mu.RLock()
+	}
+}
+
+func (r *Relation) rUnlock() {
+	if !r.frozen {
+		r.mu.RUnlock()
+	}
+}
+
+// wLock acquires the write lock, panics if the relation is a frozen
+// snapshot, and detaches shared backing storage so a pending snapshot is
+// never mutated. Callers must pair it with r.mu.Unlock.
+func (r *Relation) wLock() {
+	if r.frozen {
+		panic(fmt.Sprintf("storage: relation %s: write to frozen snapshot", r.schema.Name))
+	}
+	r.mu.Lock()
+	r.detach()
+}
+
+// detach copies backing storage shared with a snapshot. Tuples themselves
+// are never mutated in place, so the copy is shallow: the tuple slice and
+// the maps are duplicated, the tuples and index posting lists are shared
+// (appending to a posting list only ever writes beyond the snapshot's
+// visible length).
+func (r *Relation) detach() {
+	if !r.shared {
+		return
+	}
+	tuples := make([]Tuple, len(r.tuples))
+	copy(tuples, r.tuples)
+	present := make(map[string]int, len(r.present))
+	for k, v := range r.present {
+		present[k] = v
+	}
+	indexes := make(map[int]map[value.Value][]int, len(r.indexes))
+	for col, ix := range r.indexes {
+		nix := make(map[value.Value][]int, len(ix))
+		for v, rows := range ix {
+			nix[v] = rows
+		}
+		indexes[col] = nix
+	}
+	r.tuples, r.present, r.indexes = tuples, present, indexes
+	r.shared = false
+}
+
+// Snapshot returns an immutable view of the relation's current contents.
+// The snapshot shares backing storage with the source, so creation is O(1);
+// the source copies the storage lazily before its next mutation. Snapshots
+// of a snapshot return the receiver.
+func (r *Relation) Snapshot() *Relation {
+	if r.frozen {
+		return r
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.shared = true
+	return &Relation{
+		schema:  r.schema,
+		frozen:  true,
+		tuples:  r.tuples,
+		present: r.present,
+		indexes: r.indexes,
+	}
+}
+
 // Len returns the number of live tuples.
-func (r *Relation) Len() int { return len(r.present) }
+func (r *Relation) Len() int {
+	r.rLock()
+	defer r.rUnlock()
+	return len(r.present)
+}
 
 // Insert adds a tuple; it is a no-op (returning false) if an equal tuple is
 // already present. It returns an error if the arity or kinds mismatch the
-// schema.
+// schema, and panics if the relation is a frozen snapshot.
 func (r *Relation) Insert(t Tuple) (bool, error) {
 	if err := r.checkTuple(t); err != nil {
 		return false, err
 	}
+	r.wLock()
+	defer r.mu.Unlock()
 	k := t.Key()
 	if _, ok := r.present[k]; ok {
 		return false, nil
@@ -123,7 +220,7 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	// Amortized hole reclamation: if deletions have left more holes than
 	// live tuples, compact before growing the backing slice further.
 	if holes := len(r.tuples) - len(r.present); holes > 64 && holes > len(r.present) {
-		r.Compact()
+		r.compactLocked()
 	}
 	idx := len(r.tuples)
 	r.tuples = append(r.tuples, t.Clone())
@@ -146,6 +243,8 @@ func (r *Relation) MustInsert(vals ...value.Value) {
 // Deletion leaves a hole in the backing slice (nil tuple) so index entries
 // can be skipped cheaply; Compact reclaims space.
 func (r *Relation) Delete(t Tuple) bool {
+	r.wLock()
+	defer r.mu.Unlock()
 	k := t.Key()
 	idx, ok := r.present[k]
 	if !ok {
@@ -158,6 +257,8 @@ func (r *Relation) Delete(t Tuple) bool {
 
 // Contains reports whether the relation holds the tuple.
 func (r *Relation) Contains(t Tuple) bool {
+	r.rLock()
+	defer r.rUnlock()
 	_, ok := r.present[t.Key()]
 	return ok
 }
@@ -165,6 +266,12 @@ func (r *Relation) Contains(t Tuple) bool {
 // Compact rebuilds internal storage after deletions, dropping holes and
 // rebuilding all indexes.
 func (r *Relation) Compact() {
+	r.wLock()
+	defer r.mu.Unlock()
+	r.compactLocked()
+}
+
+func (r *Relation) compactLocked() {
 	live := make([]Tuple, 0, len(r.present))
 	for _, t := range r.tuples {
 		if t != nil {
@@ -182,12 +289,18 @@ func (r *Relation) Compact() {
 	}
 	r.indexes = make(map[int]map[value.Value][]int)
 	for _, col := range cols {
-		r.BuildIndex(col)
+		r.buildIndexLocked(col)
 	}
 }
 
 // BuildIndex constructs (or rebuilds) a hash index on the given column.
 func (r *Relation) BuildIndex(col int) {
+	r.wLock()
+	defer r.mu.Unlock()
+	r.buildIndexLocked(col)
+}
+
+func (r *Relation) buildIndexLocked(col int) {
 	ix := make(map[value.Value][]int)
 	for i, t := range r.tuples {
 		if t == nil {
@@ -200,6 +313,8 @@ func (r *Relation) BuildIndex(col int) {
 
 // HasIndex reports whether a hash index exists on the column.
 func (r *Relation) HasIndex(col int) bool {
+	r.rLock()
+	defer r.rUnlock()
 	_, ok := r.indexes[col]
 	return ok
 }
@@ -207,6 +322,8 @@ func (r *Relation) HasIndex(col int) bool {
 // Lookup returns the live tuples whose column col equals v, using the index
 // if present and scanning otherwise.
 func (r *Relation) Lookup(col int, v value.Value) []Tuple {
+	r.rLock()
+	defer r.rUnlock()
 	if ix, ok := r.indexes[col]; ok {
 		rows := ix[v]
 		out := make([]Tuple, 0, len(rows))
@@ -227,7 +344,10 @@ func (r *Relation) Lookup(col int, v value.Value) []Tuple {
 }
 
 // Scan invokes fn for every live tuple; fn returning false stops the scan.
+// fn must not mutate the relation (the scan holds the read lock).
 func (r *Relation) Scan(fn func(Tuple) bool) {
+	r.rLock()
+	defer r.rUnlock()
 	for _, t := range r.tuples {
 		if t == nil {
 			continue
@@ -240,11 +360,14 @@ func (r *Relation) Scan(fn func(Tuple) bool) {
 
 // Tuples returns a snapshot slice of all live tuples in insertion order.
 func (r *Relation) Tuples() []Tuple {
+	r.rLock()
+	defer r.rUnlock()
 	out := make([]Tuple, 0, len(r.present))
-	r.Scan(func(t Tuple) bool {
-		out = append(out, t)
-		return true
-	})
+	for _, t := range r.tuples {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
 	return out
 }
 
@@ -259,10 +382,11 @@ func (r *Relation) SortedTuples() []Tuple {
 // DistinctCount returns the number of distinct values in column col. It is
 // used by the schema-level citation-size estimator.
 func (r *Relation) DistinctCount(col int) int {
+	r.rLock()
+	defer r.rUnlock()
 	if ix, ok := r.indexes[col]; ok {
 		n := 0
-		for v, rows := range ix {
-			_ = v
+		for _, rows := range ix {
 			for _, i := range rows {
 				if r.tuples[i] != nil {
 					n++
@@ -273,24 +397,34 @@ func (r *Relation) DistinctCount(col int) int {
 		return n
 	}
 	seen := make(map[value.Value]struct{})
-	r.Scan(func(t Tuple) bool {
-		seen[t[col]] = struct{}{}
-		return true
-	})
+	for _, t := range r.tuples {
+		if t != nil {
+			seen[t[col]] = struct{}{}
+		}
+	}
 	return len(seen)
 }
 
 // Clone returns a deep copy of the relation (tuples are shared, which is
-// safe because tuples are never mutated in place).
+// safe because tuples are never mutated in place). Unlike Snapshot, the
+// copy is mutable and fully independent.
 func (r *Relation) Clone() *Relation {
 	out := NewRelation(r.schema)
-	r.Scan(func(t Tuple) bool {
+	cols := make([]int, 0)
+	r.rLock()
+	for _, t := range r.tuples {
+		if t == nil {
+			continue
+		}
 		out.tuples = append(out.tuples, t)
 		out.present[t.Key()] = len(out.tuples) - 1
-		return true
-	})
+	}
 	for col := range r.indexes {
-		out.BuildIndex(col)
+		cols = append(cols, col)
+	}
+	r.rUnlock()
+	for _, col := range cols {
+		out.buildIndexLocked(col)
 	}
 	return out
 }
@@ -309,10 +443,10 @@ func (r *Relation) checkTuple(t Tuple) error {
 }
 
 // Database binds relation instances to a schema. It is safe for concurrent
-// readers; writers must be externally serialized (the fixity layer adds
-// versioned concurrency on top).
+// readers and writers; Snapshot produces immutable versions for the fixity
+// layer.
 type Database struct {
-	mu        sync.RWMutex
+	frozen    bool
 	schema    *schema.Schema
 	relations map[string]*Relation
 }
@@ -330,17 +464,20 @@ func NewDatabase(s *schema.Schema) *Database {
 // Schema returns the database schema.
 func (db *Database) Schema() *schema.Schema { return db.schema }
 
-// Relation returns the named relation instance, or nil.
+// Frozen reports whether the database is an immutable snapshot.
+func (db *Database) Frozen() bool { return db.frozen }
+
+// Relation returns the named relation instance, or nil. The relation map is
+// fixed at construction, so no locking is needed.
 func (db *Database) Relation(name string) *Relation {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return db.relations[name]
 }
 
 // Insert adds a tuple to the named relation.
 func (db *Database) Insert(relation string, vals ...value.Value) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	if db.frozen {
+		return fmt.Errorf("storage: insert into %s: database snapshot is immutable", relation)
+	}
 	r, ok := db.relations[relation]
 	if !ok {
 		return fmt.Errorf("storage: unknown relation %s", relation)
@@ -352,8 +489,9 @@ func (db *Database) Insert(relation string, vals ...value.Value) error {
 // Delete removes a tuple from the named relation, reporting whether it was
 // present.
 func (db *Database) Delete(relation string, vals ...value.Value) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	if db.frozen {
+		return false, fmt.Errorf("storage: delete from %s: database snapshot is immutable", relation)
+	}
 	r, ok := db.relations[relation]
 	if !ok {
 		return false, fmt.Errorf("storage: unknown relation %s", relation)
@@ -363,8 +501,6 @@ func (db *Database) Delete(relation string, vals ...value.Value) (bool, error) {
 
 // Size returns the total number of live tuples across all relations.
 func (db *Database) Size() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	n := 0
 	for _, r := range db.relations {
 		n += r.Len()
@@ -372,13 +508,32 @@ func (db *Database) Size() int {
 	return n
 }
 
-// Clone returns a deep copy of the database (used by fixity snapshots).
+// Clone returns a deep, mutable copy of the database.
 func (db *Database) Clone() *Database {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	out := &Database{schema: db.schema, relations: make(map[string]*Relation, len(db.relations))}
 	for name, r := range db.relations {
 		out.relations[name] = r.Clone()
+	}
+	return out
+}
+
+// Snapshot returns an immutable copy-on-write view of the database — the
+// cheap versioning primitive behind fixity commits. Indexes missing on any
+// column are built on the live relations first, so snapshot readers always
+// join with index support. Creation cost is O(relations), not O(data):
+// each relation shares storage with its snapshot and detaches lazily on
+// its next write.
+func (db *Database) Snapshot() *Database {
+	out := &Database{frozen: true, schema: db.schema, relations: make(map[string]*Relation, len(db.relations))}
+	for name, r := range db.relations {
+		if !r.frozen {
+			for col := 0; col < r.schema.Arity(); col++ {
+				if !r.HasIndex(col) {
+					r.BuildIndex(col)
+				}
+			}
+		}
+		out.relations[name] = r.Snapshot()
 	}
 	return out
 }
@@ -387,8 +542,6 @@ func (db *Database) Clone() *Database {
 // The evaluator works without indexes; building them turns joins into
 // index-nested-loop joins.
 func (db *Database) BuildIndexes() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	for _, r := range db.relations {
 		for col := 0; col < r.schema.Arity(); col++ {
 			r.BuildIndex(col)
@@ -398,8 +551,6 @@ func (db *Database) BuildIndexes() {
 
 // String summarizes relation cardinalities, one per line.
 func (db *Database) String() string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	names := db.schema.Names()
 	var b strings.Builder
 	for i, n := range names {

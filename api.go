@@ -11,6 +11,8 @@ import (
 	"repro/internal/policy"
 	"repro/internal/rewrite"
 	"repro/internal/schema"
+	"repro/internal/server"
+	"repro/internal/spec"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -19,12 +21,15 @@ import (
 // view registry, and a rewriting-based citation generator.
 //
 // A System is safe for concurrent use once its views are defined: Cite,
-// CiteQuery and the batched CiteAll run in parallel against shared
-// singleflight caches, while Commit serializes against in-flight citations
-// and atomically invalidates the caches. System.CiteAll cites a whole
-// batch of queries with bounded parallelism (System.SetParallelism tunes
-// the worker pools; 1 forces sequential evaluation). See DESIGN.md §3 for
-// the locking and invalidation rules.
+// CiteQuery and the batched CiteAll/CiteEach run in parallel against
+// shared singleflight caches, while Commit serializes against in-flight
+// citations and atomically invalidates the caches. System.CiteAll cites a
+// whole batch of queries with bounded parallelism (System.SetParallelism
+// tunes the worker pools; 1 forces sequential evaluation); CiteEach is the
+// same batch with per-query errors. System.Version is the monotonic epoch
+// external result caches key on — it advances with every Commit,
+// DefineView and SetPolicy. See DESIGN.md §3 for the locking and
+// invalidation rules.
 type System = core.System
 
 // CitationSpec pairs a citation query with its field mapping when defining
@@ -209,6 +214,30 @@ func NewCiteStore() *CiteStore { return citestore.NewStore() }
 
 // ExtendedCitation is a stored extended citation.
 type ExtendedCitation = citestore.Extended
+
+// Server serves a System over HTTP with a version-keyed coalescing
+// result cache — the network serving layer cmd/citeserved runs (see
+// internal/server and DESIGN.md §5). Embed it under your own mux with
+// Server.Handler, or run it standalone with ListenAndServe + Shutdown.
+type Server = server.Server
+
+// ServerOptions configures a Server; the zero value uses the defaults
+// (1024-entry cache, 30s request deadline, 4×GOMAXPROCS admission).
+type ServerOptions = server.Options
+
+// ServerCiteResult is the wire form of one citation as served on
+// POST /cite and emitted by citegen -json.
+type ServerCiteResult = server.CiteResult
+
+// NewServer builds the HTTP serving layer over a system whose views are
+// already defined (and typically committed, so citations carry pins).
+func NewServer(sys *System, opts ServerOptions) *Server { return server.New(sys, opts) }
+
+// LoadSpec builds a ready-to-use System from a spec document (the
+// line-oriented format of testdata/paper.dcs: relations, tuples, views,
+// citation queries). It is what cmd/citeserved and cmd/citegen load, so
+// embedders can serve the same files the tools do.
+func LoadSpec(src string) (*System, error) { return spec.Load(src) }
 
 // RewriteMethod selects the rewriting algorithm.
 type RewriteMethod = rewrite.Method

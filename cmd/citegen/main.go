@@ -5,16 +5,23 @@
 //
 //	citegen -spec db.dcs -query "Q(FName) :- Family(FID, FName, Desc)" \
 //	        [-format text|bibtex|ris|xml|json] [-policy minsize|maxcoverage|all] \
-//	        [-partial] [-pruned] [-explain]
+//	        [-partial] [-pruned] [-explain] [-json]
+//
+// -json emits the full machine-readable envelope (record, text, fixity
+// pin) that cmd/citeserved answers on POST /cite — the same citation
+// renders identically on disk and on the wire. -format json, by
+// contrast, prints only the record object.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	datacitation "repro"
+	"repro/internal/server"
 	"repro/internal/spec"
 )
 
@@ -29,6 +36,7 @@ func main() {
 	pruned := flag.Bool("pruned", false, "cost-pruned generation (evaluate one rewriting)")
 	explain := flag.Bool("explain", false, "print rewritings and formal citation expressions")
 	bibKey := flag.String("key", "datacitation", "BibTeX citation key")
+	asJSON := flag.Bool("json", false, "emit the citeserved wire envelope (record + text + pin) as JSON")
 	flag.Parse()
 
 	if *specPath == "" || *querySrc == "" {
@@ -63,6 +71,17 @@ func main() {
 	cite, err := sys.Cite(*querySrc)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// -json owns stdout: it must stay a single parseable document, so it
+	// preempts -explain's text blocks and the -format rendering.
+	if *asJSON {
+		out, err := json.MarshalIndent(server.NewCiteResult(*querySrc, cite), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
 	}
 
 	if *explain {

@@ -1,0 +1,123 @@
+// Command citeserved serves a citation-enabled database over HTTP — the
+// paper's deployment model: the repository runs the citation engine as a
+// service against its live, evolving database, and clients retrieve
+// citations for the query results they used.
+//
+// It loads a spec file (see internal/spec), commits the loaded state as
+// version 1 so every citation carries a fixity pin, and serves the
+// internal/server endpoints until SIGINT/SIGTERM, then drains in-flight
+// requests and exits.
+//
+// Usage:
+//
+//	citeserved -spec db.dcs [-addr :8377] [-cache 1024] [-timeout 30s]
+//	           [-max-inflight 0] [-parallelism 0]
+//	           [-policy minsize|maxcoverage|all] [-no-commit]
+//
+// Quickstart against the repository's paper fixture:
+//
+//	citeserved -spec testdata/paper.dcs &
+//	curl -s localhost:8377/healthz
+//	curl -s -X POST localhost:8377/cite \
+//	     -d '{"query": "Q(FName) :- Family(FID, FName, Desc)"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	datacitation "repro"
+	"repro/internal/server"
+	"repro/internal/spec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("citeserved: ")
+	specPath := flag.String("spec", "", "path to the spec file (schema + tuples + views)")
+	addr := flag.String("addr", ":8377", "listen address")
+	cacheSize := flag.Int("cache", 0, "result-cache entries (0 = default 1024)")
+	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = default 30s, negative = none)")
+	maxInFlight := flag.Int("max-inflight", 0, "admitted concurrent /cite requests (0 = 4×GOMAXPROCS, negative = unlimited)")
+	parallelism := flag.Int("parallelism", 0, "engine worker-pool bound (0 = GOMAXPROCS)")
+	polName := flag.String("policy", "minsize", "+R policy: minsize, maxcoverage, all")
+	noCommit := flag.Bool("no-commit", false, "do not commit the loaded state (citations carry no fixity pin until POST /commit)")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period")
+	flag.Parse()
+
+	if *specPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := spec.Load(string(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := datacitation.DefaultPolicy()
+	switch *polName {
+	case "minsize":
+		p.AltR = datacitation.SelectMinSize
+	case "maxcoverage":
+		p.AltR = datacitation.SelectMaxCoverage
+	case "all":
+		p.AltR = datacitation.SelectAllBranches
+	default:
+		log.Fatalf("unknown policy %q", *polName)
+	}
+	sys.SetPolicy(p)
+	if *parallelism > 0 {
+		sys.SetParallelism(*parallelism)
+	}
+	if !*noCommit {
+		info := sys.Commit("citeserved load: " + *specPath)
+		log.Printf("committed loaded state as version %d (%d tuples)", info.Version, info.Tuples)
+	}
+
+	srv := server.New(sys, server.Options{
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+		MaxInFlight:    *maxInFlight,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %s on http://%s (%d views, epoch %d)",
+		*specPath, ln.Addr(), sys.Registry().Len(), sys.Version())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down (grace %s)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("bye")
+}

@@ -7,9 +7,16 @@
 //	citeviews -spec db.dcs                       # validate + summarize views
 //	citeviews -spec db.dcs -queries workload.cq  # coverage report
 //	citeviews -spec db.dcs -random 100           # random-workload coverage
+//	citeviews -spec db.dcs -random 100 -json     # machine-readable report
+//
+// -json emits the whole report as one JSON object (views, coverage,
+// advisor recommendations), for parity with citebench -json; static
+// citation records use the same canonical encoding the file renderer and
+// cmd/citeserved emit.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -18,9 +25,44 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/cq"
 	"repro/internal/rewrite"
+	"repro/internal/server"
 	"repro/internal/spec"
 	"repro/internal/workload"
 )
+
+// coverageReport is the -json form of the workload coverage analysis.
+type coverageReport struct {
+	Total     int     `json:"total"`
+	Covered   int     `json:"covered"`
+	Partial   int     `json:"partial"`
+	Uncovered int     `json:"uncovered"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// advisorReport is the -json form of the view-advisor recommendation.
+type advisorReport struct {
+	Budget  int                 `json:"budget"`
+	Covered int                 `json:"covered"`
+	Total   int                 `json:"total"`
+	Ratio   float64             `json:"ratio"`
+	Views   []advisorViewReport `json:"views"`
+}
+
+type advisorViewReport struct {
+	Query        string `json:"query"`
+	Source       string `json:"source"`
+	MarginalGain int    `json:"marginal_gain"`
+}
+
+// report is the full citeviews output in machine-readable form. Views
+// use the serving layer's wire shape, so GET /views and citeviews -json
+// emit the same objects.
+type report struct {
+	Relations int               `json:"relations"`
+	Views     []server.ViewInfo `json:"views"`
+	Coverage  *coverageReport   `json:"coverage,omitempty"`
+	Advisor   *advisorReport    `json:"advisor,omitempty"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -30,6 +72,7 @@ func main() {
 	randomN := flag.Int("random", 0, "generate a random workload of this size instead")
 	seed := flag.Int64("seed", 1, "random workload seed")
 	suggest := flag.Int("suggest", 0, "recommend up to this many views for the workload (view advisor)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of text")
 	flag.Parse()
 
 	if *specPath == "" {
@@ -46,15 +89,9 @@ func main() {
 	}
 	reg := sys.Registry()
 
-	fmt.Printf("schema (%d relations):\n%s\n\n", sys.Database().Schema().Len(), sys.Database().Schema())
-	fmt.Printf("views (%d):\n", reg.Len())
+	rep := report{Relations: sys.Database().Schema().Len()}
 	for _, v := range reg.Views() {
-		kind := "unparameterized"
-		if v.Query.IsParameterized() {
-			kind = fmt.Sprintf("parameterized by %v", v.Query.Params)
-		}
-		fmt.Printf("  %s  [%s, %d citation quer%s]\n", v.Query, kind,
-			len(v.Citations), plural(len(v.Citations), "y", "ies"))
+		rep.Views = append(rep.Views, server.NewViewInfo(v))
 	}
 
 	var queries []*cq.Query
@@ -76,32 +113,81 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-	default:
-		return
 	}
 
-	rep, err := reg.AnalyzeCoverage(queries, rewrite.MethodMiniCon)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\ncoverage over %d queries:\n", rep.Total)
-	fmt.Printf("  covered (complete rewriting): %d\n", rep.Covered)
-	fmt.Printf("  partially covered:            %d\n", rep.Partial)
-	fmt.Printf("  uncovered:                    %d\n", rep.Uncovered)
-	fmt.Printf("  coverage ratio:               %.2f\n", rep.CoverageRatio())
-
-	if *suggest > 0 {
-		rec, err := advisor.Recommend(sys.Database().Schema(), queries, advisor.Options{
-			MaxViews: *suggest,
-			Method:   rewrite.MethodMiniCon,
-		})
+	if len(queries) > 0 {
+		cov, err := reg.AnalyzeCoverage(queries, rewrite.MethodMiniCon)
 		if err != nil {
 			log.Fatal(err)
 		}
+		rep.Coverage = &coverageReport{
+			Total:     cov.Total,
+			Covered:   cov.Covered,
+			Partial:   cov.Partial,
+			Uncovered: cov.Uncovered,
+			Ratio:     cov.CoverageRatio(),
+		}
+		if *suggest > 0 {
+			rec, err := advisor.Recommend(sys.Database().Schema(), queries, advisor.Options{
+				MaxViews: *suggest,
+				Method:   rewrite.MethodMiniCon,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			adv := &advisorReport{
+				Budget:  *suggest,
+				Covered: rec.Covered,
+				Total:   rec.Total,
+				Ratio:   rec.CoverageRatio(),
+			}
+			for i, v := range rec.Views {
+				adv.Views = append(adv.Views, advisorViewReport{
+					Query:        v.Query.String(),
+					Source:       v.Source,
+					MarginalGain: rec.MarginalGain[i],
+				})
+			}
+			rep.Advisor = adv
+		}
+	}
+
+	if *asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	printText(sys.Database().Schema().String(), rep)
+}
+
+// printText renders the report in the human-readable layout.
+func printText(schemaText string, rep report) {
+	fmt.Printf("schema (%d relations):\n%s\n\n", rep.Relations, schemaText)
+	fmt.Printf("views (%d):\n", len(rep.Views))
+	for _, v := range rep.Views {
+		kind := "unparameterized"
+		if v.Parameterized {
+			kind = fmt.Sprintf("parameterized by %v", v.Params)
+		}
+		fmt.Printf("  %s  [%s, %d citation quer%s]\n", v.Query, kind,
+			v.CitationQueries, plural(v.CitationQueries, "y", "ies"))
+	}
+	if rep.Coverage != nil {
+		fmt.Printf("\ncoverage over %d queries:\n", rep.Coverage.Total)
+		fmt.Printf("  covered (complete rewriting): %d\n", rep.Coverage.Covered)
+		fmt.Printf("  partially covered:            %d\n", rep.Coverage.Partial)
+		fmt.Printf("  uncovered:                    %d\n", rep.Coverage.Uncovered)
+		fmt.Printf("  coverage ratio:               %.2f\n", rep.Coverage.Ratio)
+	}
+	if rep.Advisor != nil {
 		fmt.Printf("\nview advisor (budget %d): %d view(s) covering %d/%d queries (%.2f)\n",
-			*suggest, len(rec.Views), rec.Covered, rec.Total, rec.CoverageRatio())
-		for i, v := range rec.Views {
-			fmt.Printf("  +%d queries  %s  [%s]\n", rec.MarginalGain[i], v.Query, v.Source)
+			rep.Advisor.Budget, len(rep.Advisor.Views), rep.Advisor.Covered,
+			rep.Advisor.Total, rep.Advisor.Ratio)
+		for _, v := range rep.Advisor.Views {
+			fmt.Printf("  +%d queries  %s  [%s]\n", v.MarginalGain, v.Query, v.Source)
 		}
 	}
 }

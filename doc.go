@@ -29,7 +29,15 @@
 //	cite, err := sys.Cite("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
 //	fmt.Println(cite.Text())
 //
+// To serve citations over HTTP — with a version-keyed coalescing result
+// cache, admission control and metrics — wrap the system in NewServer
+// (or run cmd/citeserved against a spec file):
+//
+//	srv := datacitation.NewServer(sys, datacitation.ServerOptions{})
+//	go srv.ListenAndServe(":8377")
+//
 // The package is a façade: the implementation lives in internal/
 // subpackages (cq, rewrite, contain, semiring, eval, citeexpr, policy,
-// citation, fixity, evolution, format, storage), documented in DESIGN.md.
+// citation, fixity, evolution, format, storage, server), documented in
+// DESIGN.md.
 package datacitation

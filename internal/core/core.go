@@ -37,7 +37,8 @@ type System struct {
 	// shared, state-changing calls (Commit, DefineView, SetPolicy,
 	// SetParallelism) hold it exclusively.
 	mu    sync.RWMutex
-	par   int // bounded parallelism for CiteAll (0 = GOMAXPROCS)
+	epoch int64 // monotonic version token, bumped by every invalidating change
+	par   int   // bounded parallelism for CiteAll (0 = GOMAXPROCS)
 	store *fixity.Store
 	reg   *citation.Registry
 	gen   *citation.Generator
@@ -84,10 +85,36 @@ func (s *System) Generator() *citation.Generator { return s.gen }
 // Database returns the mutable head database.
 func (s *System) Database() *storage.Database { return s.store.Head() }
 
+// Version returns the system's monotonic version token (the epoch). It
+// starts at 0 and increments on every state change that can alter the
+// outcome of a citation — Commit, DefineView and SetPolicy — atomically
+// with the change itself (the bump happens under the exclusive system
+// lock, so a Cite that observes epoch e computes against state no older
+// than e). External result caches key on this token: an entry cached at
+// epoch e is never served once the epoch has moved on, which is the
+// server-cache invalidation rule documented in DESIGN.md §3.
+func (s *System) Version() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// Versions returns the epoch together with the latest committed store
+// version, read under one shared lock acquisition so the pair is
+// consistent: a concurrent Commit (which bumps both exclusively) is
+// either fully visible or not at all. Servers stamp response envelopes
+// with this pair.
+func (s *System) Versions() (epoch int64, store fixity.Version) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch, s.store.Latest()
+}
+
 // SetPolicy replaces the combination policy.
 func (s *System) SetPolicy(p policy.Policy) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.epoch++
 	s.gen.SetPolicy(p)
 }
 
@@ -133,7 +160,11 @@ func (s *System) DefineView(viewSrc string, static format.Record, specs ...Citat
 			Fields: spec.Fields,
 		})
 	}
-	return s.reg.Add(v)
+	if err := s.reg.Add(v); err != nil {
+		return err
+	}
+	s.epoch++
+	return nil
 }
 
 // CitationSpec pairs a citation query source with its field mapping, for
@@ -150,11 +181,20 @@ type CitationSpec struct {
 // synchronization point after mutating the head database directly (for
 // incremental maintenance without commits, see package evolution).
 func (s *System) Commit(message string) fixity.VersionInfo {
+	info, _ := s.CommitVersioned(message)
+	return info
+}
+
+// CommitVersioned is Commit returning, in addition, the epoch observed
+// atomically with the commit — servers stamp commit responses with the
+// pair, which a later racing state change cannot skew.
+func (s *System) CommitVersioned(message string) (fixity.VersionInfo, int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	info := s.store.Commit(message)
 	s.gen.InvalidateCache()
-	return info
+	s.epoch++
+	return info, s.epoch
 }
 
 // Citation is the complete outcome of citing a query: the structural
@@ -218,32 +258,7 @@ func (s *System) CiteAll(queries []string) ([]*Citation, error) {
 	}
 	out := make([]*Citation, len(queries))
 	errs := make([]error, len(queries))
-	workers := s.parallelism()
-	if workers > len(qs) {
-		workers = len(qs)
-	}
-	if workers <= 1 {
-		for i, q := range qs {
-			out[i], errs[i] = s.CiteQuery(q)
-		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					out[i], errs[i] = s.CiteQuery(qs[i])
-				}
-			}()
-		}
-		for i := range qs {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
+	s.citeBatch(qs, out, errs)
 	for i, err := range errs {
 		if err != nil {
 			out[i] = nil
@@ -251,6 +266,63 @@ func (s *System) CiteAll(queries []string) ([]*Citation, error) {
 		}
 	}
 	return out, nil
+}
+
+// CiteEach is CiteAll with per-query error reporting: every position gets
+// either a citation (out[i]) or its own error (errs[i]) — a parse failure
+// or citation failure at one position does not discard the rest of the
+// batch. This is the entry point network servers use, where one client's
+// malformed query must not fail its neighbors in a batch.
+func (s *System) CiteEach(queries []string) (out []*Citation, errs []error) {
+	qs := make([]*cq.Query, len(queries))
+	out = make([]*Citation, len(queries))
+	errs = make([]error, len(queries))
+	for i, src := range queries {
+		q, err := cq.Parse(src)
+		if err != nil {
+			errs[i] = fmt.Errorf("core: query: %w", err)
+			continue
+		}
+		qs[i] = q
+	}
+	s.citeBatch(qs, out, errs)
+	return out, errs
+}
+
+// citeBatch cites every non-nil query over a worker pool bounded by the
+// system parallelism, writing results and errors positionally. Positions
+// with a nil query (parse failures recorded by the caller) are skipped.
+func (s *System) citeBatch(qs []*cq.Query, out []*Citation, errs []error) {
+	workers := s.parallelism()
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			if q != nil {
+				out[i], errs[i] = s.CiteQuery(q)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = s.CiteQuery(qs[i])
+			}
+		}()
+	}
+	for i := range qs {
+		if qs[i] != nil {
+			next <- i
+		}
+	}
+	close(next)
+	wg.Wait()
 }
 
 // Text renders the aggregated citation as human-readable text, including

@@ -172,6 +172,63 @@ func TestSetPolicyAffectsCitations(t *testing.T) {
 	}
 }
 
+func TestVersionEpoch(t *testing.T) {
+	sys := paperSystem(t)
+	base := sys.Version()
+	sys.Commit("v1")
+	afterCommit := sys.Version()
+	if afterCommit <= base {
+		t.Errorf("Commit did not advance the epoch: %d -> %d", base, afterCommit)
+	}
+	p := policy.Default()
+	p.AltR = policy.MaxCoverage
+	sys.SetPolicy(p)
+	afterPolicy := sys.Version()
+	if afterPolicy <= afterCommit {
+		t.Errorf("SetPolicy did not advance the epoch: %d -> %d", afterCommit, afterPolicy)
+	}
+	if err := sys.DefineView("V7(FID) :- Family(FID, FName, Desc)", nil); err != nil {
+		t.Fatal(err)
+	}
+	afterView := sys.Version()
+	if afterView <= afterPolicy {
+		t.Errorf("DefineView did not advance the epoch: %d -> %d", afterPolicy, afterView)
+	}
+	// A failed DefineView must not advance the epoch.
+	if err := sys.DefineView("not a query", nil); err == nil {
+		t.Fatal("bad view source accepted")
+	}
+	if got := sys.Version(); got != afterView {
+		t.Errorf("failed DefineView advanced the epoch: %d -> %d", afterView, got)
+	}
+}
+
+func TestCiteEachPerQueryErrors(t *testing.T) {
+	sys := paperSystem(t)
+	sys.Commit("v1")
+	queries := []string{
+		paperQ,
+		"(((",
+		"Q(Text) :- FamilyIntro(FID, Text)",
+	}
+	out, errs := sys.CiteEach(queries)
+	if len(out) != 3 || len(errs) != 3 {
+		t.Fatalf("positional results: %d/%d", len(out), len(errs))
+	}
+	if errs[0] != nil || out[0] == nil {
+		t.Errorf("query 0 failed: %v", errs[0])
+	}
+	if errs[1] == nil || out[1] != nil {
+		t.Error("parse failure at position 1 not reported positionally")
+	}
+	if errs[2] != nil || out[2] == nil {
+		t.Errorf("query 2 failed despite neighbor's parse error: %v", errs[2])
+	}
+	if out[0].Pin == nil || out[2].Pin == nil {
+		t.Error("batch citations missing pins after commit")
+	}
+}
+
 func TestNewSystemFromDatabase(t *testing.T) {
 	cfg := gtopdb.DefaultConfig()
 	cfg.Families = 15

@@ -282,15 +282,25 @@ func XML(r Record) (string, error) {
 	return string(out), nil
 }
 
-// JSON renders the record as a canonical JSON object (fields sorted).
-func JSON(r Record) (string, error) {
+// MarshalJSON renders the record as the canonical JSON object: fields
+// sorted, empty fields omitted, value lists in insertion order. This is
+// the single wire encoding of a record — JSON (the file renderer) and the
+// network server's response envelopes both marshal through here, so a
+// citation renders identically on disk and on the wire. A Record
+// round-trips: unmarshaling the output into a Record yields an Equal one.
+func (r Record) MarshalJSON() ([]byte, error) {
 	m := make(map[string][]string, len(r))
 	for f, vs := range r {
 		if len(vs) > 0 {
 			m[f] = vs
 		}
 	}
-	out, err := json.MarshalIndent(m, "", "  ")
+	return json.Marshal(m)
+}
+
+// JSON renders the record as a canonical JSON object (fields sorted).
+func JSON(r Record) (string, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return "", fmt.Errorf("format: json: %w", err)
 	}

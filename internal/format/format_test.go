@@ -194,6 +194,62 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRecordMarshalJSONRoundTrip(t *testing.T) {
+	r := sample()
+	r["empty"] = nil // empty fields must be omitted, not emitted as null
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Record
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("marshaled record does not decode into a Record: %v\n%s", err, raw)
+	}
+	if _, ok := back["empty"]; ok {
+		t.Error("empty field survived the round trip")
+	}
+	delete(r, "empty")
+	if !back.Equal(r) {
+		t.Errorf("round trip not field-wise equal:\n got %v\nwant %v", back, r)
+	}
+	// Field-by-field: values keep their insertion order on the wire.
+	for f, vs := range r {
+		ws := back[f]
+		if len(ws) != len(vs) {
+			t.Fatalf("field %s: %d values, want %d", f, len(ws), len(vs))
+		}
+		for i := range vs {
+			if ws[i] != vs[i] {
+				t.Errorf("field %s[%d]: %q, want %q", f, i, ws[i], vs[i])
+			}
+		}
+	}
+}
+
+func TestRecordMarshalJSONMatchesRenderer(t *testing.T) {
+	// The wire encoding and the JSON renderer must describe the same
+	// object: unmarshaling either yields the same map.
+	r := sample()
+	rendered, err := JSON(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromRenderer, fromWire map[string][]string
+	if err := json.Unmarshal([]byte(rendered), &fromRenderer); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(wire, &fromWire); err != nil {
+		t.Fatal(err)
+	}
+	if !Record(fromRenderer).Equal(Record(fromWire)) {
+		t.Errorf("renderer and wire encodings diverge:\n%s\n%s", rendered, wire)
+	}
+}
+
 func TestCloneIndependence(t *testing.T) {
 	a := sample()
 	c := a.Clone()

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheKey identifies one cacheable citation: the system epoch it was (or
+// is being) computed at, plus the query text. Keying on the epoch is the
+// whole invalidation story — Commit/DefineView/SetPolicy bump the epoch
+// (core.System.Version), so entries cached under an older epoch are
+// simply never looked up again and age out of the LRU.
+type cacheKey struct {
+	epoch int64
+	query string
+}
+
+// cacheCall is one in-flight computation. The owner closes done exactly
+// once after setting val/err; any number of coalesced waiters select on
+// done (racing their request contexts).
+type cacheCall struct {
+	done chan struct{}
+	val  CiteResult
+	err  error
+}
+
+// resultCache is a version-keyed LRU of citation results with request
+// coalescing: at most one computation per key is ever in flight, no
+// matter how many concurrent requests demand it. Errors are never
+// cached — a failed computation is handed to its waiters and forgotten,
+// so transient failures retry.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recently used; Value is *cacheEntry
+	entries  map[cacheKey]*list.Element
+	inflight map[cacheKey]*cacheCall
+
+	hits      atomic.Int64 // served from the LRU
+	misses    atomic.Int64 // owner claims — exactly one per computation
+	coalesced atomic.Int64 // joined an in-flight computation
+	evictions atomic.Int64 // LRU capacity evictions
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = defaultCacheSize
+	}
+	return &resultCache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[cacheKey]*list.Element),
+		inflight: make(map[cacheKey]*cacheCall),
+	}
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val CiteResult
+}
+
+// acquire resolves a key three ways:
+//   - cached:      (val, true, nil, false) — an LRU hit.
+//   - must compute: (_, false, call, true) — the caller is the owner and
+//     MUST eventually invoke complete(key, call, …), or waiters hang.
+//   - in flight:   (_, false, call, false) — coalesce by waiting on
+//     call.done.
+func (c *resultCache) acquire(k cacheKey) (val CiteResult, cached bool, cl *cacheCall, owner bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).val, true, nil, false
+	}
+	if cl, ok := c.inflight[k]; ok {
+		c.coalesced.Add(1)
+		return CiteResult{}, false, cl, false
+	}
+	cl = &cacheCall{done: make(chan struct{})}
+	c.inflight[k] = cl
+	c.misses.Add(1)
+	return CiteResult{}, false, cl, true
+}
+
+// complete publishes the owner's result: waiters are released, and a
+// successful value is inserted into the LRU (evicting from the cold end
+// past capacity). Failed computations are not cached.
+func (c *resultCache) complete(k cacheKey, cl *cacheCall, val CiteResult, err error) {
+	c.mu.Lock()
+	if c.inflight[k] == cl {
+		delete(c.inflight, k)
+	}
+	if err == nil {
+		if el, ok := c.entries[k]; ok {
+			el.Value.(*cacheEntry).val = val
+			c.lru.MoveToFront(el)
+		} else {
+			c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, val: val})
+			for c.lru.Len() > c.capacity {
+				cold := c.lru.Back()
+				c.lru.Remove(cold)
+				delete(c.entries, cold.Value.(*cacheEntry).key)
+				c.evictions.Add(1)
+			}
+		}
+	}
+	cl.val, cl.err = val, err
+	c.mu.Unlock()
+	close(cl.done)
+}
+
+// purge drops every cached entry. In-flight computations are left alone:
+// they complete, hand their result to their waiters, and insert under
+// their (by now stale) epoch key, where the entry is unreachable and ages
+// out. Epoch keying already guarantees correctness — purge only releases
+// memory promptly after an explicit invalidation such as POST /commit.
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.entries = make(map[cacheKey]*list.Element)
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCacheCoalescingExactlyOnce pins the coalescing contract
+// deterministically: N goroutines acquire the same key while the owner's
+// computation is gated open only after every goroutine has registered,
+// so exactly one owner exists and every other caller coalesces.
+func TestCacheCoalescingExactlyOnce(t *testing.T) {
+	const n = 16
+	c := newResultCache(8)
+	k := cacheKey{epoch: 1, query: "Q(X) :- R(X)"}
+
+	var registered sync.WaitGroup
+	registered.Add(n)
+	var owners, waiters int
+	var mu sync.Mutex
+	results := make([]CiteResult, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			val, cached, cl, owner := c.acquire(k)
+			if cached {
+				registered.Done()
+				t.Error("hit before anything was computed")
+				return
+			}
+			mu.Lock()
+			if owner {
+				owners++
+			} else {
+				waiters++
+			}
+			mu.Unlock()
+			registered.Done()
+			if owner {
+				registered.Wait() // every caller has acquired — none can slip in post-completion
+				c.complete(k, cl, CiteResult{Query: k.query, Text: "computed"}, nil)
+			}
+			<-cl.done
+			val = cl.val
+			results[i] = val
+		}(i)
+	}
+	wg.Wait()
+
+	if owners != 1 {
+		t.Fatalf("%d owners, want exactly 1", owners)
+	}
+	if waiters != n-1 {
+		t.Fatalf("%d waiters, want %d", waiters, n-1)
+	}
+	for i, r := range results {
+		if r.Text != "computed" {
+			t.Errorf("caller %d got %+v", i, r)
+		}
+	}
+	if got := c.misses.Load(); got != 1 {
+		t.Errorf("misses = %d, want 1 (one computation)", got)
+	}
+	if got := c.coalesced.Load(); got != n-1 {
+		t.Errorf("coalesced = %d, want %d", got, n-1)
+	}
+	// The published value is now cached: the next acquire is a pure hit.
+	if _, cached, _, _ := c.acquire(k); !cached {
+		t.Error("completed value not cached")
+	}
+}
+
+// TestCacheErrorsNotCached asserts failed computations are handed to
+// their waiters but never cached, so the next acquire retries.
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newResultCache(8)
+	k := cacheKey{epoch: 1, query: "q"}
+	_, _, cl, owner := c.acquire(k)
+	if !owner {
+		t.Fatal("first acquire must own the computation")
+	}
+	c.complete(k, cl, CiteResult{}, errors.New("transient"))
+	if cl.err == nil {
+		t.Error("error not published to waiters")
+	}
+	_, cached, _, owner := c.acquire(k)
+	if cached || !owner {
+		t.Errorf("error was cached: cached=%v owner=%v", cached, owner)
+	}
+	if c.len() != 0 {
+		t.Errorf("cache holds %d entries after a failure", c.len())
+	}
+}
+
+// TestCacheVersionKeying asserts entries are keyed by epoch: the same
+// query under a new epoch misses, and the old entry stays addressable
+// only under the old key until it ages out.
+func TestCacheVersionKeying(t *testing.T) {
+	c := newResultCache(8)
+	old := cacheKey{epoch: 1, query: "q"}
+	_, _, cl, _ := c.acquire(old)
+	c.complete(old, cl, CiteResult{Text: "v1"}, nil)
+
+	fresh := cacheKey{epoch: 2, query: "q"}
+	_, cached, cl2, owner := c.acquire(fresh)
+	if cached || !owner {
+		t.Fatal("bumped epoch must miss")
+	}
+	c.complete(fresh, cl2, CiteResult{Text: "v2"}, nil)
+	if val, cached, _, _ := c.acquire(fresh); !cached || val.Text != "v2" {
+		t.Errorf("fresh epoch: cached=%v val=%q", cached, val.Text)
+	}
+}
+
+// TestCacheLRUEviction fills past capacity and asserts cold entries are
+// evicted in LRU order.
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	put := func(q, text string) {
+		k := cacheKey{epoch: 1, query: q}
+		_, _, cl, owner := c.acquire(k)
+		if !owner {
+			t.Fatalf("put %q: not owner", q)
+		}
+		c.complete(k, cl, CiteResult{Text: text}, nil)
+	}
+	put("a", "A")
+	put("b", "B")
+	// Touch "a" so "b" is the cold entry.
+	if _, cached, _, _ := c.acquire(cacheKey{epoch: 1, query: "a"}); !cached {
+		t.Fatal("a missing before eviction")
+	}
+	put("c", "C")
+	if _, cached, _, _ := c.acquire(cacheKey{epoch: 1, query: "b"}); cached {
+		t.Error("cold entry b not evicted")
+	}
+	if got := c.evictions.Load(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if _, cached, _, _ := c.acquire(cacheKey{epoch: 1, query: "a"}); !cached {
+		t.Error("recently used entry a evicted")
+	}
+}
+
+// TestCachePurge drops entries but leaves in-flight computations able to
+// complete and publish to their waiters.
+func TestCachePurge(t *testing.T) {
+	c := newResultCache(8)
+	done := cacheKey{epoch: 1, query: "done"}
+	_, _, cl, _ := c.acquire(done)
+	c.complete(done, cl, CiteResult{Text: "done"}, nil)
+
+	inflight := cacheKey{epoch: 1, query: "inflight"}
+	_, _, inflightCall, owner := c.acquire(inflight)
+	if !owner {
+		t.Fatal("expected to own the in-flight computation")
+	}
+	c.purge()
+	if c.len() != 0 {
+		t.Errorf("%d entries after purge", c.len())
+	}
+	if _, cached, _, _ := c.acquire(done); cached {
+		t.Error("purged entry still served")
+	}
+	// The in-flight call still completes and publishes.
+	c.complete(inflight, inflightCall, CiteResult{Text: "late"}, nil)
+	select {
+	case <-inflightCall.done:
+	default:
+		t.Fatal("in-flight call not completed after purge")
+	}
+	if inflightCall.val.Text != "late" {
+		t.Errorf("in-flight value %q", inflightCall.val.Text)
+	}
+}
+
+// TestCacheConcurrentDistinctKeys hammers the cache with overlapping
+// keys under -race.
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := newResultCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := cacheKey{epoch: int64(i % 3), query: fmt.Sprintf("q%d", i%5)}
+				_, cached, cl, owner := c.acquire(k)
+				switch {
+				case cached:
+				case owner:
+					c.complete(k, cl, CiteResult{Text: k.query}, nil)
+				default:
+					<-cl.done
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := c.hits.Load() + c.misses.Load() + c.coalesced.Load()
+	if total != 8*50 {
+		t.Errorf("accounted %d acquisitions, want %d", total, 8*50)
+	}
+}

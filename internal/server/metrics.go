@@ -1,0 +1,125 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// endpointStats accumulates per-endpoint request counters with a
+// seconds-sum/count latency pair (enough for rate and mean-latency
+// dashboards without a histogram dependency).
+type endpointStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64 // responses with status >= 400
+	nanos    atomic.Int64 // total handling time
+}
+
+// serverMetrics is the server's counter set, exposed on GET /metrics in
+// Prometheus text exposition format. Everything is atomics — recording a
+// request never takes a lock.
+type serverMetrics struct {
+	endpoints map[string]*endpointStats // fixed key set, read-only after init
+	inflight  atomic.Int64              // requests currently being handled
+	rejected  atomic.Int64              // admission-control rejections (503)
+	timeouts  atomic.Int64              // per-request deadline expiries (504)
+}
+
+func newServerMetrics(endpoints []string) *serverMetrics {
+	m := &serverMetrics{endpoints: make(map[string]*endpointStats, len(endpoints))}
+	for _, e := range endpoints {
+		m.endpoints[e] = &endpointStats{}
+	}
+	return m
+}
+
+// statusRecorder captures the response status for the error counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps an endpoint handler with request/error/latency
+// accounting under the endpoint's label.
+func (m *serverMetrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	stats := m.endpoints[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inflight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		// Deferred so a panicking handler (recovered per-connection by
+		// net/http) cannot leak the inflight gauge or skip accounting.
+		defer func() {
+			m.inflight.Add(-1)
+			stats.requests.Add(1)
+			stats.nanos.Add(int64(time.Since(start)))
+			if rec.status >= 400 {
+				stats.errors.Add(1)
+			}
+		}()
+		h(rec, r)
+	}
+}
+
+// render writes the metrics in Prometheus text exposition format. The
+// gauge values that belong to other components (cache counters, store
+// version, epoch) are passed in by the server.
+func (m *serverMetrics) render(w *strings.Builder, s *Server) {
+	counter := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	names := make([]string, 0, len(m.endpoints))
+	for e := range m.endpoints {
+		names = append(names, e)
+	}
+	sort.Strings(names)
+
+	counter("citeserved_requests_total", "Requests handled, by endpoint.")
+	for _, e := range names {
+		fmt.Fprintf(w, "citeserved_requests_total{endpoint=%q} %d\n", e, m.endpoints[e].requests.Load())
+	}
+	counter("citeserved_request_errors_total", "Responses with status >= 400, by endpoint.")
+	for _, e := range names {
+		fmt.Fprintf(w, "citeserved_request_errors_total{endpoint=%q} %d\n", e, m.endpoints[e].errors.Load())
+	}
+	counter("citeserved_request_seconds_total", "Total request handling time, by endpoint.")
+	for _, e := range names {
+		fmt.Fprintf(w, "citeserved_request_seconds_total{endpoint=%q} %g\n", e,
+			float64(m.endpoints[e].nanos.Load())/float64(time.Second))
+	}
+
+	cs := s.CacheStats()
+	counter("citeserved_cache_hits_total", "Citations served from the result cache.")
+	fmt.Fprintf(w, "citeserved_cache_hits_total %d\n", cs.Hits)
+	counter("citeserved_cache_misses_total", "Citations computed by the engine (one per cache miss).")
+	fmt.Fprintf(w, "citeserved_cache_misses_total %d\n", cs.Misses)
+	counter("citeserved_cache_coalesced_total", "Requests that joined an in-flight computation.")
+	fmt.Fprintf(w, "citeserved_cache_coalesced_total %d\n", cs.Coalesced)
+	counter("citeserved_cache_evictions_total", "Cache entries evicted at capacity.")
+	fmt.Fprintf(w, "citeserved_cache_evictions_total %d\n", cs.Evictions)
+	gauge("citeserved_cache_entries", "Cached citation results.")
+	fmt.Fprintf(w, "citeserved_cache_entries %d\n", cs.Entries)
+
+	counter("citeserved_rejected_total", "Requests rejected by admission control.")
+	fmt.Fprintf(w, "citeserved_rejected_total %d\n", m.rejected.Load())
+	counter("citeserved_timeouts_total", "Requests that exceeded the per-request deadline.")
+	fmt.Fprintf(w, "citeserved_timeouts_total %d\n", m.timeouts.Load())
+	gauge("citeserved_inflight_requests", "Requests currently being handled.")
+	fmt.Fprintf(w, "citeserved_inflight_requests %d\n", m.inflight.Load())
+	epoch, storeVersion := s.sys.Versions()
+	gauge("citeserved_epoch", "System version token (bumped by commit/view/policy changes).")
+	fmt.Fprintf(w, "citeserved_epoch %d\n", epoch)
+	gauge("citeserved_store_version", "Latest committed store version.")
+	fmt.Fprintf(w, "citeserved_store_version %d\n", storeVersion)
+}

@@ -1,0 +1,607 @@
+// Package server is the network serving layer over core.System — the
+// paper's framing of citation generation as a service a repository runs
+// against its live, evolving database (§1: citations "generated
+// on-the-fly", §3: serving many users over shared views). It exposes the
+// engine as HTTP/JSON endpoints behind a version-keyed LRU result cache
+// with request coalescing: a hot query is computed exactly once per
+// store version no matter how many clients demand it concurrently, and a
+// commit invalidates every cached result atomically by bumping the
+// system epoch the cache keys on (DESIGN.md §3, §5).
+//
+// Endpoints:
+//
+//	POST /cite     {"query": "..."} or {"queries": ["...", ...]}
+//	POST /commit   {"message": "..."}
+//	GET  /versions commit history
+//	GET  /views    registered citation views
+//	GET  /healthz  liveness + basic shape
+//	GET  /metrics  Prometheus text format counters
+//
+// Responses embed format.Record's canonical JSON encoding, so a citation
+// rendered on the wire is byte-compatible with format.JSON output.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/citation"
+	"repro/internal/core"
+	"repro/internal/fixity"
+	"repro/internal/format"
+)
+
+// Defaults for Options zero values.
+const (
+	defaultCacheSize      = 1024
+	defaultRequestTimeout = 30 * time.Second
+	defaultBodyLimit      = 1 << 20 // 1 MiB request bodies
+)
+
+// Options configures a Server. The zero value serves with sensible
+// defaults.
+type Options struct {
+	// CacheSize bounds the result cache (entries). 0 means 1024.
+	CacheSize int
+	// RequestTimeout bounds the handling of one request, queueing and
+	// computation included. 0 means 30s; negative disables the deadline.
+	RequestTimeout time.Duration
+	// MaxInFlight is the admission-control semaphore width for /cite: at
+	// most this many cite requests are admitted concurrently, the rest
+	// queue until a slot frees or their deadline expires (503). A slot is
+	// held until both the request and any computation it spawned finish,
+	// so engine work stays bounded even when clients time out mid-compute.
+	// 0 means 4×GOMAXPROCS; negative disables admission control.
+	MaxInFlight int
+}
+
+// Server serves a core.System over HTTP. Create with New, mount via
+// Handler (any mux/middleware stack) or run standalone with
+// ListenAndServe/Serve + Shutdown.
+type Server struct {
+	sys     *core.System
+	opts    Options
+	cache   *resultCache
+	metrics *serverMetrics
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	sem     chan struct{} // admission control; nil = unlimited
+
+	// citer computes a batch of citations with per-query errors. It
+	// defaults to sys.CiteEach; tests substitute instrumented or slow
+	// implementations.
+	citer func(queries []string) ([]*core.Citation, []error)
+
+	// computeWG tracks detached cache-fill computations so Shutdown can
+	// wait for them after the HTTP listener drains.
+	computeWG sync.WaitGroup
+}
+
+// New builds a server over the system. The system should already have its
+// views defined and (typically) an initial Commit so citations carry
+// fixity pins.
+func New(sys *core.System, opts Options) *Server {
+	if opts.CacheSize == 0 {
+		opts.CacheSize = defaultCacheSize
+	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = defaultRequestTimeout
+	}
+	if opts.MaxInFlight == 0 {
+		opts.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		sys:     sys,
+		opts:    opts,
+		cache:   newResultCache(opts.CacheSize),
+		metrics: newServerMetrics([]string{"cite", "commit", "versions", "views", "healthz", "metrics"}),
+		mux:     http.NewServeMux(),
+	}
+	s.citer = sys.CiteEach
+	if opts.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, opts.MaxInFlight)
+	}
+	s.mux.HandleFunc("/cite", s.metrics.instrument("cite", s.methodOnly(http.MethodPost, s.handleCite)))
+	s.mux.HandleFunc("/commit", s.metrics.instrument("commit", s.methodOnly(http.MethodPost, s.handleCommit)))
+	s.mux.HandleFunc("/versions", s.metrics.instrument("versions", s.methodOnly(http.MethodGet, s.handleVersions)))
+	s.mux.HandleFunc("/views", s.metrics.instrument("views", s.methodOnly(http.MethodGet, s.handleViews)))
+	s.mux.HandleFunc("/healthz", s.metrics.instrument("healthz", s.methodOnly(http.MethodGet, s.handleHealthz)))
+	s.mux.HandleFunc("/metrics", s.metrics.instrument("metrics", s.methodOnly(http.MethodGet, s.handleMetrics)))
+	s.httpSrv = &http.Server{Handler: s.mux}
+	return s
+}
+
+// System returns the served system (for embedders).
+func (s *Server) System() *core.System { return s.sys }
+
+// Handler returns the server's HTTP handler for mounting under an
+// external mux or middleware stack.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until Shutdown or a listener error.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on an existing listener until Shutdown or error. Like
+// net/http, it returns http.ErrServerClosed after a clean Shutdown.
+func (s *Server) Serve(ln net.Listener) error { return s.httpSrv.Serve(ln) }
+
+// Shutdown gracefully stops the server: the listener closes, in-flight
+// requests drain, and detached cache-fill computations are awaited (or
+// abandoned when ctx expires; they only populate the cache, so
+// abandoning them loses no client response).
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	done := make(chan struct{})
+	go func() {
+		s.computeWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// InvalidateCache drops every cached citation result. Epoch keying makes
+// this unnecessary for correctness (stale keys are never looked up); it
+// exists to release memory promptly and for benchmarks that need a cold
+// cache.
+func (s *Server) InvalidateCache() { s.cache.purge() }
+
+// CacheStats is a point-in-time snapshot of the result-cache counters.
+// Misses count engine computations: under coalescing, N concurrent
+// requests for the same query at the same version add exactly 1.
+type CacheStats struct {
+	Hits, Misses, Coalesced, Evictions, Entries int64
+}
+
+// CacheStats snapshots the result-cache counters.
+func (s *Server) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:      s.cache.hits.Load(),
+		Misses:    s.cache.misses.Load(),
+		Coalesced: s.cache.coalesced.Load(),
+		Evictions: s.cache.evictions.Load(),
+		Entries:   int64(s.cache.len()),
+	}
+}
+
+// Pin is the wire form of a fixity pin (fixity.PinnedCitation).
+type Pin struct {
+	Query     string    `json:"query"`
+	Version   int       `json:"version"`
+	Timestamp time.Time `json:"timestamp"`
+	SHA256    string    `json:"sha256"`
+	Tuples    int       `json:"tuples"`
+}
+
+// CiteResult is the wire form of one citation: the canonical record
+// (format.Record's JSON encoding — identical to format.JSON output), a
+// human-readable text rendering, and the fixity pin when the store has
+// committed versions. Exactly one of Record/Error is meaningful: a
+// failed query reports Error and nothing else.
+type CiteResult struct {
+	Query  string        `json:"query"`
+	Record format.Record `json:"record,omitempty"`
+	Text   string        `json:"text,omitempty"`
+	Pin    *Pin          `json:"pin,omitempty"`
+	Cache  string        `json:"cache,omitempty"` // "hit", "miss" or "coalesced"
+	Error  string        `json:"error,omitempty"`
+}
+
+// NewCiteResult converts an engine citation into its wire form. It is
+// exported for CLI tools (citegen -json) so the file and wire renderings
+// share one envelope.
+func NewCiteResult(query string, c *core.Citation) CiteResult {
+	out := CiteResult{
+		Query:  query,
+		Record: c.Result.Record,
+		Text:   c.Text(),
+	}
+	if c.Pin != nil {
+		out.Pin = &Pin{
+			Query:     c.Pin.QueryText,
+			Version:   int(c.Pin.Version),
+			Timestamp: c.Pin.Timestamp,
+			SHA256:    c.Pin.Digest,
+			Tuples:    c.Pin.Tuples,
+		}
+	}
+	return out
+}
+
+// citeRequest is the POST /cite body: exactly one of Query/Queries.
+type citeRequest struct {
+	Query   string   `json:"query,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+}
+
+// citeResponse is the POST /cite reply. Result is set for single-query
+// requests, Results for batches.
+type citeResponse struct {
+	Epoch   int64        `json:"epoch"`
+	Version int          `json:"version"` // latest committed store version
+	Result  *CiteResult  `json:"result,omitempty"`
+	Results []CiteResult `json:"results,omitempty"`
+}
+
+func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	// Decode and validate before admission: malformed requests answer 400
+	// immediately instead of queueing for (and wasting) a /cite slot.
+	var req citeRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	single := req.Query != ""
+	queries := req.Queries
+	switch {
+	case single && len(queries) > 0:
+		writeError(w, http.StatusBadRequest, `body must set exactly one of "query" or "queries"`)
+		return
+	case single:
+		queries = []string{req.Query}
+	case len(queries) == 0:
+		writeError(w, http.StatusBadRequest, `body must set "query" or a non-empty "queries"`)
+		return
+	}
+	var slot *slotRef
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			slot = newSlotRef(func() { <-s.sem })
+			defer slot.done()
+		case <-ctx.Done():
+			s.metrics.rejected.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "admission queue full: "+ctx.Err().Error())
+			return
+		}
+	}
+
+	results, epoch, storeVersion, timedOut := s.citeBatch(ctx, queries, slot)
+	if timedOut {
+		s.metrics.timeouts.Add(1)
+	}
+	// Stamp the envelope with the epoch/version pair the batch was keyed
+	// on, not a fresh read: a commit racing the response must not make
+	// the envelope claim a version newer than the results it carries.
+	resp := citeResponse{
+		Epoch:   epoch,
+		Version: int(storeVersion),
+	}
+	if single {
+		if results[0].Error != "" {
+			status := http.StatusUnprocessableEntity
+			if timedOut {
+				status = http.StatusGatewayTimeout
+			}
+			writeError(w, status, results[0].Error)
+			return
+		}
+		resp.Result = &results[0]
+	} else {
+		// Batches always answer 200; per-query failures travel in each
+		// result's "error" field so one bad query cannot mask its
+		// neighbors' citations.
+		resp.Results = results
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// slotRef shares one admission slot between a request handler and the
+// detached computation it may spawn: the slot frees only when the last
+// holder releases it, so engine work stays bounded by MaxInFlight even
+// when clients time out mid-compute and new requests are admitted. A nil
+// *slotRef (admission control disabled) is a no-op.
+type slotRef struct {
+	holders atomic.Int32
+	release func()
+}
+
+func newSlotRef(release func()) *slotRef {
+	r := &slotRef{release: release}
+	r.holders.Store(1)
+	return r
+}
+
+func (r *slotRef) add() {
+	if r != nil {
+		r.holders.Add(1)
+	}
+}
+
+func (r *slotRef) done() {
+	if r != nil && r.holders.Add(-1) == 0 {
+		r.release()
+	}
+}
+
+// pendingResult tracks one batch position through the cache.
+type pendingResult struct {
+	idx   int
+	key   cacheKey
+	call  *cacheCall
+	owner bool
+}
+
+// citeBatch resolves a batch of queries through the coalescing cache.
+// Owned computations run in a detached goroutine (holding a reference to
+// the caller's admission slot) so a caller timing out cannot strand
+// coalesced waiters: the computation always completes, publishes to
+// every waiter, and fills the cache. The returned epoch/storeVersion
+// pair is the consistent snapshot the batch was keyed on; timedOut
+// reports whether any position was abandoned at the context deadline.
+func (s *Server) citeBatch(ctx context.Context, queries []string, slot *slotRef) (results []CiteResult, epoch int64, storeVersion fixity.Version, timedOut bool) {
+	epoch, storeVersion = s.sys.Versions()
+	results = make([]CiteResult, len(queries))
+	var pending []pendingResult
+	var owned []pendingResult
+	for i, q := range queries {
+		k := cacheKey{epoch: epoch, query: q}
+		val, cached, cl, owner := s.cache.acquire(k)
+		if cached {
+			results[i] = val
+			results[i].Cache = "hit"
+			continue
+		}
+		p := pendingResult{idx: i, key: k, call: cl, owner: owner}
+		pending = append(pending, p)
+		if owner {
+			owned = append(owned, p)
+		}
+	}
+	if len(owned) > 0 {
+		batch := make([]string, len(owned))
+		for j, p := range owned {
+			batch[j] = queries[p.idx]
+		}
+		s.computeWG.Add(1)
+		slot.add()
+		go func() {
+			defer s.computeWG.Done()
+			defer slot.done()
+			completed := 0
+			// This goroutine runs outside net/http's per-connection
+			// recover: an engine panic must become a per-query error (and
+			// release every coalesced waiter), not a process crash.
+			defer func() {
+				if r := recover(); r != nil {
+					err := fmt.Errorf("server: citation panicked: %v", r)
+					for _, p := range owned[completed:] {
+						s.cache.complete(p.key, p.call, CiteResult{}, err)
+					}
+				}
+			}()
+			cites, errs := s.citer(batch)
+			for j, p := range owned {
+				var val CiteResult
+				err := errs[j]
+				if err == nil && cites[j] == nil {
+					err = errors.New("server: citer returned no citation")
+				}
+				if err == nil {
+					val = NewCiteResult(batch[j], cites[j])
+				}
+				s.cache.complete(p.key, p.call, val, err)
+				completed = j + 1
+			}
+		}()
+	}
+	// Within one batch a duplicated query coalesces onto the batch's own
+	// owner; its call completes above, so waiting here cannot deadlock.
+	for _, p := range pending {
+		select {
+		case <-p.call.done:
+			if p.call.err != nil {
+				results[p.idx] = CiteResult{Query: queries[p.idx], Error: p.call.err.Error()}
+				continue
+			}
+			results[p.idx] = p.call.val
+			if p.owner {
+				results[p.idx].Cache = "miss"
+			} else {
+				results[p.idx].Cache = "coalesced"
+			}
+		case <-ctx.Done():
+			timedOut = true
+			results[p.idx] = CiteResult{
+				Query: queries[p.idx],
+				Error: "deadline exceeded: " + ctx.Err().Error(),
+			}
+		}
+	}
+	return results, epoch, storeVersion, timedOut
+}
+
+// commitRequest is the POST /commit body.
+type commitRequest struct {
+	Message string `json:"message"`
+}
+
+// versionInfo is the wire form of one commit record.
+type versionInfo struct {
+	Version   int       `json:"version"`
+	Timestamp time.Time `json:"timestamp"`
+	Message   string    `json:"message"`
+	Tuples    int       `json:"tuples"`
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req commitRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Message == "" {
+		req.Message = "citeserved commit"
+	}
+	// CommitVersioned pairs the commit with the epoch it produced; a
+	// racing second commit cannot make this response claim its epoch.
+	info, epoch := s.sys.CommitVersioned(req.Message)
+	// The epoch bump already orphans every cached key; purge to release
+	// the memory immediately.
+	s.cache.purge()
+	writeJSON(w, http.StatusOK, struct {
+		Epoch int64 `json:"epoch"`
+		versionInfo
+	}{
+		Epoch: epoch,
+		versionInfo: versionInfo{
+			Version:   int(info.Version),
+			Timestamp: info.Timestamp,
+			Message:   info.Message,
+			Tuples:    info.Tuples,
+		},
+	})
+}
+
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	epoch, latest := s.sys.Versions()
+	history := s.sys.Store().History()
+	// A commit racing the two reads above can only append; truncating to
+	// the snapshotted latest keeps the response self-consistent.
+	if int(latest) < len(history) {
+		history = history[:latest]
+	}
+	out := struct {
+		Epoch    int64         `json:"epoch"`
+		Latest   int           `json:"latest"`
+		Versions []versionInfo `json:"versions"`
+	}{
+		Epoch:    epoch,
+		Latest:   int(latest),
+		Versions: make([]versionInfo, len(history)),
+	}
+	for i, info := range history {
+		out.Versions[i] = versionInfo{
+			Version:   int(info.Version),
+			Timestamp: info.Timestamp,
+			Message:   info.Message,
+			Tuples:    info.Tuples,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ViewInfo is the wire form of one registered citation view. It is the
+// single report shape for views: GET /views serves it and citeviews
+// -json embeds it, so the two encodings cannot drift apart.
+type ViewInfo struct {
+	Name            string        `json:"name"`
+	Query           string        `json:"query"`
+	Parameterized   bool          `json:"parameterized"`
+	Params          []string      `json:"params,omitempty"`
+	CitationQueries int           `json:"citation_queries"`
+	Static          format.Record `json:"static,omitempty"`
+}
+
+// NewViewInfo converts a registered citation view into its wire form.
+func NewViewInfo(v *citation.View) ViewInfo {
+	return ViewInfo{
+		Name:            v.Query.Name,
+		Query:           v.Query.String(),
+		Parameterized:   v.Query.IsParameterized(),
+		Params:          v.Query.Params,
+		CitationQueries: len(v.Citations),
+		Static:          v.Static,
+	}
+}
+
+func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
+	views := s.sys.Registry().Views()
+	out := struct {
+		Count int        `json:"count"`
+		Views []ViewInfo `json:"views"`
+	}{Count: len(views), Views: make([]ViewInfo, len(views))}
+	for i, v := range views {
+		out.Views[i] = NewViewInfo(v)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	epoch, latest := s.sys.Versions()
+	writeJSON(w, http.StatusOK, struct {
+		Status  string `json:"status"`
+		Epoch   int64  `json:"epoch"`
+		Version int    `json:"version"`
+		Views   int    `json:"views"`
+	}{
+		Status:  "ok",
+		Epoch:   epoch,
+		Version: int(latest),
+		Views:   s.sys.Registry().Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.metrics.render(&b, s)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+// methodOnly rejects every method but the given one with 405.
+func (s *Server) methodOnly(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, "method "+r.Method+" not allowed")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// decodeBody decodes a bounded JSON request body, rejecting trailing
+// garbage.
+func decodeBody(r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, defaultBodyLimit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("invalid request body: trailing data")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}

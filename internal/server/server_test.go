@@ -1,0 +1,574 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/format"
+	"repro/internal/spec"
+	"repro/internal/value"
+)
+
+const paperQuery = "Q(FName) :- Family(FID, FName, Desc)"
+
+// paperServer loads testdata/paper.dcs, commits an initial version, and
+// wraps the system in a test server.
+func paperServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "testdata", "paper.dcs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := spec.Load(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Commit("test base")
+	srv := New(sys, opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if into != nil {
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatalf("response not JSON: %v\n%s", err, raw)
+		}
+	}
+	return resp
+}
+
+func TestCiteSingle(t *testing.T) {
+	_, ts := paperServer(t, Options{})
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/cite", citeRequest{Query: paperQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out citeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad response: %v\n%s", err, body)
+	}
+	if out.Result == nil || out.Results != nil {
+		t.Fatalf("single request must answer with result, not results: %s", body)
+	}
+	if out.Version != 1 || out.Epoch < 1 {
+		t.Errorf("version=%d epoch=%d", out.Version, out.Epoch)
+	}
+	if got := out.Result.Record[format.FieldDatabase]; len(got) == 0 {
+		t.Errorf("citation has no database field: %s", body)
+	}
+	if out.Result.Pin == nil || out.Result.Pin.Version != 1 || out.Result.Pin.SHA256 == "" {
+		t.Errorf("missing or malformed pin: %+v", out.Result.Pin)
+	}
+	if out.Result.Cache != "miss" {
+		t.Errorf("first request cache status %q", out.Result.Cache)
+	}
+	if !strings.Contains(out.Result.Text, "sha256=") {
+		t.Errorf("text rendering lost the pin: %q", out.Result.Text)
+	}
+}
+
+// TestCiteWireMatchesDiskRenderer decodes the record the server emits
+// and compares it field-by-field against what the engine + format.JSON
+// produce locally — the citation renders identically on disk and on the
+// wire.
+func TestCiteWireMatchesDiskRenderer(t *testing.T) {
+	srv, ts := paperServer(t, Options{})
+	_, body := postJSON(t, ts.Client(), ts.URL+"/cite", citeRequest{Query: paperQuery})
+	var out citeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	cite, err := srv.System().Cite(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Result.Record.Equal(cite.Result.Record) {
+		t.Errorf("wire record != engine record:\n%v\n%v", out.Result.Record, cite.Result.Record)
+	}
+	rendered, err := format.JSON(cite.Result.Record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromDisk format.Record
+	if err := json.Unmarshal([]byte(rendered), &fromDisk); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Result.Record.Equal(fromDisk) {
+		t.Errorf("wire record != format.JSON record:\n%v\n%s", out.Result.Record, rendered)
+	}
+	for f, vs := range fromDisk {
+		ws := out.Result.Record[f]
+		if len(ws) != len(vs) {
+			t.Fatalf("field %s: wire has %d values, disk %d", f, len(ws), len(vs))
+		}
+		for i := range vs {
+			if ws[i] != vs[i] {
+				t.Errorf("field %s[%d]: wire %q, disk %q", f, i, ws[i], vs[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentCiteComputesOnce is the acceptance race test: many
+// concurrent POST /cite for the same query at the same version must
+// compute the citation exactly once — every other request is served by
+// coalescing onto the in-flight computation or by the result cache.
+func TestConcurrentCiteComputesOnce(t *testing.T) {
+	srv, ts := paperServer(t, Options{})
+	var computations atomic.Int64
+	inner := srv.citer
+	srv.citer = func(queries []string) ([]*core.Citation, []error) {
+		computations.Add(int64(len(queries)))
+		return inner(queries)
+	}
+
+	const clients = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			resp, body := postJSON(t, ts.Client(), ts.URL+"/cite", citeRequest{Query: paperQuery})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			var out citeResponse
+			if err := json.Unmarshal(body, &out); err != nil {
+				errs <- err
+				return
+			}
+			if out.Result == nil || len(out.Result.Record) == 0 {
+				errs <- fmt.Errorf("empty citation: %s", body)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if got := computations.Load(); got != 1 {
+		t.Errorf("citation computed %d times for %d concurrent clients, want exactly 1", got, clients)
+	}
+	stats := srv.CacheStats()
+	if stats.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1", stats.Misses)
+	}
+	if stats.Hits+stats.Coalesced != clients-1 {
+		t.Errorf("hits(%d)+coalesced(%d) = %d, want %d",
+			stats.Hits, stats.Coalesced, stats.Hits+stats.Coalesced, clients-1)
+	}
+}
+
+// TestCommitInvalidatesCache is the second acceptance half: POST /commit
+// bumps the version, and the next cite recomputes against the new state
+// instead of serving the stale cached result.
+func TestCommitInvalidatesCache(t *testing.T) {
+	srv, ts := paperServer(t, Options{})
+	client := ts.Client()
+
+	_, body := postJSON(t, client, ts.URL+"/cite", citeRequest{Query: paperQuery})
+	var first citeResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	// Served from cache on repeat.
+	_, body = postJSON(t, client, ts.URL+"/cite", citeRequest{Query: paperQuery})
+	var repeat citeResponse
+	if err := json.Unmarshal(body, &repeat); err != nil {
+		t.Fatal(err)
+	}
+	if repeat.Result.Cache != "hit" {
+		t.Errorf("repeat request cache status %q, want hit", repeat.Result.Cache)
+	}
+
+	// Mutate the head so the new version's citation differs, then commit.
+	db := srv.System().Database()
+	if err := db.Insert("Family", value.Int(13), value.String("Adrenomedullin"), value.String("C3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("Committee", value.Int(13), value.String("Dave")); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, client, ts.URL+"/commit", commitRequest{Message: "add family 13"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("commit status %d: %s", resp.StatusCode, body)
+	}
+	var commitOut struct {
+		Epoch   int64 `json:"epoch"`
+		Version int   `json:"version"`
+	}
+	if err := json.Unmarshal(body, &commitOut); err != nil {
+		t.Fatal(err)
+	}
+	if commitOut.Version != 2 || commitOut.Epoch <= first.Epoch {
+		t.Errorf("commit version=%d epoch=%d (was %d)", commitOut.Version, commitOut.Epoch, first.Epoch)
+	}
+
+	_, body = postJSON(t, client, ts.URL+"/cite", citeRequest{Query: paperQuery})
+	var after citeResponse
+	if err := json.Unmarshal(body, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Result.Cache != "miss" {
+		t.Errorf("post-commit request cache status %q, want miss (cache invalidated)", after.Result.Cache)
+	}
+	if after.Version != 2 || after.Result.Pin == nil || after.Result.Pin.Version != 2 {
+		t.Errorf("post-commit cite not pinned to new version: version=%d pin=%+v", after.Version, after.Result.Pin)
+	}
+	if after.Result.Pin.SHA256 == first.Result.Pin.SHA256 {
+		t.Error("post-commit digest identical — stale result served")
+	}
+	if stats := srv.CacheStats(); stats.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (one per version)", stats.Misses)
+	}
+}
+
+func TestCiteBatch(t *testing.T) {
+	_, ts := paperServer(t, Options{})
+	queries := []string{
+		paperQuery,
+		"((not a query",
+		"Q(Text) :- FamilyIntro(FID, Text)",
+		paperQuery, // duplicate coalesces within the batch
+	}
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/cite", citeRequest{Queries: queries})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out citeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("%d results, want 4", len(out.Results))
+	}
+	if out.Results[0].Error != "" || len(out.Results[0].Record) == 0 {
+		t.Errorf("result 0: %+v", out.Results[0])
+	}
+	if out.Results[1].Error == "" {
+		t.Error("parse failure at position 1 not reported")
+	}
+	if out.Results[2].Error != "" || len(out.Results[2].Record) == 0 {
+		t.Errorf("result 2 failed beside a bad neighbor: %+v", out.Results[2])
+	}
+	if out.Results[3].Error != "" || !out.Results[3].Record.Equal(out.Results[0].Record) {
+		t.Errorf("duplicate query result diverged: %+v", out.Results[3])
+	}
+}
+
+func TestCiteRequestValidation(t *testing.T) {
+	_, ts := paperServer(t, Options{})
+	client := ts.Client()
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"empty body", `{}`, http.StatusBadRequest},
+		{"both fields", `{"query":"q","queries":["q"]}`, http.StatusBadRequest},
+		{"not json", `not json`, http.StatusBadRequest},
+		{"unknown field", `{"qwery":"q"}`, http.StatusBadRequest},
+		{"bad query", `{"query":"((("}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp, err := client.Post(ts.URL+"/cite", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+	// Wrong methods.
+	resp, err := client.Get(ts.URL + "/cite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /cite: status %d", resp.StatusCode)
+	}
+	resp, err = client.Post(ts.URL+"/versions", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /versions: status %d", resp.StatusCode)
+	}
+}
+
+func TestVersionsViewsHealthz(t *testing.T) {
+	_, ts := paperServer(t, Options{})
+	client := ts.Client()
+
+	var versions struct {
+		Epoch    int64 `json:"epoch"`
+		Latest   int   `json:"latest"`
+		Versions []struct {
+			Version int    `json:"version"`
+			Message string `json:"message"`
+			Tuples  int    `json:"tuples"`
+		} `json:"versions"`
+	}
+	getJSON(t, client, ts.URL+"/versions", &versions)
+	if versions.Latest != 1 || len(versions.Versions) != 1 {
+		t.Errorf("versions: %+v", versions)
+	}
+	if versions.Versions[0].Message != "test base" || versions.Versions[0].Tuples != 7 {
+		t.Errorf("version record: %+v", versions.Versions[0])
+	}
+
+	var views struct {
+		Count int        `json:"count"`
+		Views []ViewInfo `json:"views"`
+	}
+	getJSON(t, client, ts.URL+"/views", &views)
+	if views.Count != 3 || len(views.Views) != 3 {
+		t.Fatalf("views: %+v", views)
+	}
+	byName := map[string]ViewInfo{}
+	for _, v := range views.Views {
+		byName[v.Name] = v
+	}
+	v1 := byName["V1"]
+	if !v1.Parameterized || len(v1.Params) != 1 || v1.CitationQueries != 1 {
+		t.Errorf("V1: %+v", v1)
+	}
+	if got := v1.Static[format.FieldDatabase]; len(got) != 1 {
+		t.Errorf("V1 static record: %+v", v1.Static)
+	}
+
+	var health struct {
+		Status  string `json:"status"`
+		Version int    `json:"version"`
+		Views   int    `json:"views"`
+	}
+	resp := getJSON(t, client, ts.URL+"/healthz", &health)
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" || health.Version != 1 || health.Views != 3 {
+		t.Errorf("healthz: %d %+v", resp.StatusCode, health)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := paperServer(t, Options{})
+	client := ts.Client()
+	postJSON(t, client, ts.URL+"/cite", citeRequest{Query: paperQuery})
+	postJSON(t, client, ts.URL+"/cite", citeRequest{Query: paperQuery})
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`citeserved_requests_total{endpoint="cite"} 2`,
+		"citeserved_cache_hits_total 1",
+		"citeserved_cache_misses_total 1",
+		"citeserved_cache_entries 1",
+		"citeserved_store_version 1",
+		"# TYPE citeserved_requests_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Errorf("metrics content type %q", resp.Header.Get("Content-Type"))
+	}
+}
+
+// TestRequestTimeout verifies a request abandoned at its deadline
+// answers 504 while the detached computation still completes and fills
+// the cache for the next client.
+func TestRequestTimeout(t *testing.T) {
+	srv, ts := paperServer(t, Options{RequestTimeout: 30 * time.Millisecond})
+	inner := srv.citer
+	release := make(chan struct{})
+	var delayed atomic.Bool
+	srv.citer = func(queries []string) ([]*core.Citation, []error) {
+		if delayed.CompareAndSwap(false, true) {
+			<-release // first computation outlives the request deadline
+		}
+		return inner(queries)
+	}
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/cite", citeRequest{Query: paperQuery})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+	close(release)
+
+	// The detached computation completes and caches; the retry is a hit.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, body = postJSON(t, ts.Client(), ts.URL+"/cite", citeRequest{Query: paperQuery})
+		var out citeResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Fatal(err)
+			}
+			if out.Result.Cache == "hit" {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned computation never reached the cache: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if stats := srv.CacheStats(); stats.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (timeout must not recompute)", stats.Misses)
+	}
+}
+
+// TestAdmissionControl verifies the semaphore: with every admission slot
+// occupied, a queued request answers 503 at its deadline, and admission
+// resumes once a slot frees.
+func TestAdmissionControl(t *testing.T) {
+	srv, ts := paperServer(t, Options{MaxInFlight: 1, RequestTimeout: 50 * time.Millisecond})
+	srv.sem <- struct{}{} // occupy the only slot
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/cite", citeRequest{Query: paperQuery})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if srv.metrics.rejected.Load() != 1 {
+		t.Errorf("rejected = %d, want 1", srv.metrics.rejected.Load())
+	}
+
+	<-srv.sem // free the slot; admission resumes
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/cite", citeRequest{Query: paperQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestCiterPanicIsContained asserts an engine panic in the detached
+// computation becomes a request error — waiters released, nothing
+// cached, process alive — instead of crashing the server.
+func TestCiterPanicIsContained(t *testing.T) {
+	srv, ts := paperServer(t, Options{})
+	inner := srv.citer
+	var panicked atomic.Bool
+	srv.citer = func(queries []string) ([]*core.Citation, []error) {
+		if panicked.CompareAndSwap(false, true) {
+			panic("engine bug")
+		}
+		return inner(queries)
+	}
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/cite", citeRequest{Query: paperQuery})
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("panicked computation answered 200: %s", body)
+	}
+	if !strings.Contains(string(body), "panicked") {
+		t.Errorf("error body: %s", body)
+	}
+	// The failure was not cached; the retry computes and succeeds.
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/cite", citeRequest{Query: paperQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server did not survive the panic: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestGracefulShutdown starts a real listener, then shuts down and
+// asserts Serve returns http.ErrServerClosed and pending computations
+// are awaited.
+func TestGracefulShutdown(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "testdata", "paper.dcs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := spec.Load(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Commit("base")
+	srv := New(sys, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	url := "http://" + ln.Addr().String()
+	resp, body := postJSON(t, http.DefaultClient, url+"/cite", citeRequest{Query: paperQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-shutdown cite: %d %s", resp.StatusCode, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if err != http.ErrServerClosed {
+			t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+}

@@ -1,0 +1,118 @@
+package datacitation
+
+// BenchmarkServerCite measures end-to-end serving throughput of the
+// network layer (internal/server) over httptest: HTTP round-trip, JSON
+// envelope, result cache, and — on cold paths — the full citation
+// engine. It rides alongside BenchmarkE10ConcurrentCite (the in-process
+// ceiling) so BENCH_* tracks how much of the engine's concurrent
+// throughput survives the wire.
+//
+// Axes: 1/4/16 concurrent clients × cold/warm cache. Warm serves every
+// request from the version-keyed result cache; cold invalidates the
+// cache around every request, so each request pays a computation (under
+// concurrency some requests coalesce onto a neighbor's computation —
+// exactly what a cold-start stampede looks like in production).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/server"
+)
+
+func BenchmarkServerCite(b *testing.B) {
+	sys, err := experiments.GtoPdbSystem(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Commit("bench base")
+	srv := server.New(sys, server.Options{CacheSize: 4096})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := experiments.E10Workload()
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		body, err := json.Marshal(map[string]string{"query": q})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+	post := func(client *http.Client, i int) error {
+		resp, err := client.Post(ts.URL+"/cite", "application/json",
+			bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	for _, clients := range []int{1, 4, 16} {
+		for _, mode := range []string{"cold", "warm"} {
+			b.Run(fmt.Sprintf("clients-%d/%s", clients, mode), func(b *testing.B) {
+				if mode == "warm" {
+					for i := range queries {
+						if err := post(ts.Client(), i); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					srv.InvalidateCache()
+				}
+				var wg sync.WaitGroup
+				next := make(chan int)
+				errs := make(chan error, clients)
+				for w := 0; w < clients; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						client := ts.Client()
+						failed := false
+						// Keep draining after a failure: the b.N feed loop
+						// must never block on a dead worker.
+						for i := range next {
+							if failed {
+								continue
+							}
+							if mode == "cold" {
+								srv.InvalidateCache()
+							}
+							if err := post(client, i); err != nil {
+								failed = true
+								select {
+								case errs <- err:
+								default:
+								}
+							}
+						}
+					}()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					next <- i
+				}
+				close(next)
+				wg.Wait()
+				b.StopTimer()
+				select {
+				case err := <-errs:
+					b.Fatal(err)
+				default:
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package datacitation_test
+
+// Façade-level test of the serving layer: build a System through the
+// public API, wrap it in NewServer, and drive it over httptest — the
+// embedding path an importing repository uses.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	datacitation "repro"
+)
+
+func TestPublicAPIServer(t *testing.T) {
+	sys := buildSystem(t)
+	sys.Commit("base")
+	srv := datacitation.NewServer(sys, datacitation.ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body, err := json.Marshal(map[string]string{
+		"query": "Q(FName) :- Family(FID, FName, Desc)",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ts.Client().Post(ts.URL+"/cite", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cite status %d: %s", resp.StatusCode, raw)
+	}
+	var out struct {
+		Version int                            `json:"version"`
+		Result  *datacitation.ServerCiteResult `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad response: %v\n%s", err, raw)
+	}
+	if out.Version != 1 || out.Result == nil || len(out.Result.Record) == 0 {
+		t.Errorf("response: %s", raw)
+	}
+	if out.Result.Pin == nil || out.Result.Pin.Version != 1 {
+		t.Errorf("pin: %+v", out.Result.Pin)
+	}
+	if stats := srv.CacheStats(); stats.Misses != 1 {
+		t.Errorf("misses = %d", stats.Misses)
+	}
+}

@@ -282,6 +282,38 @@ func BenchmarkE10ConcurrentCite(b *testing.B) {
 	}
 }
 
+// BenchmarkE11PlanReuse contrasts compile-per-call annotated evaluation
+// with a warm compiled plan on the gtopdb two-way join — the per-query
+// planning overhead the citation generator's plan cache removes from
+// every warm Cite. cmd/citebench reports the same comparison with an
+// allocs/op column (citebench -only E11).
+func BenchmarkE11PlanReuse(b *testing.B) {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 1000
+	db := gtopdb.Generate(cfg)
+	db.BuildIndexes()
+	q := cq.MustParse("Q(FName, Text) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
+	sr := semiring.Natural{}
+	count := func(string, storage.Tuple) int { return 1 }
+	b.Run("compile-per-call", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eval.EvalAnnotated[int](db, q, sr, count); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-plan", func(b *testing.B) {
+		plan, err := eval.Compile(db, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eval.RunAnnotated[int](plan, sr, count)
+		}
+	})
+}
+
 // BenchmarkE8AnnotationOverhead compares plain evaluation with annotated
 // evaluation across semirings on a two-way join.
 func BenchmarkE8AnnotationOverhead(b *testing.B) {

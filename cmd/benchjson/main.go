@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON document, so CI can archive benchmark baselines —
+// BENCH_eval.json in the bench-smoke job — that later PRs diff against
+// for a performance trajectory.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > BENCH_eval.json
+//
+// Standard benchmark lines parse into objects with per-metric fields;
+// context lines (goos, goarch, pkg, cpu) are captured as environment
+// metadata. Unknown lines are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds any further "value unit" metric pairs (e.g. MB/s or
+	// custom b.ReportMetric units).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Output is the archived document.
+type Output struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := Output{Env: map[string]string{}, Benchmarks: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				out.Benchmarks = append(out.Benchmarks, r)
+			}
+		case hasEnvPrefix(line):
+			k, v, _ := strings.Cut(line, ":")
+			out.Env[k] = strings.TrimSpace(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func hasEnvPrefix(line string) bool {
+	for _, p := range []string{"goos:", "goarch:", "pkg:", "cpu:"} {
+		if strings.HasPrefix(line, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseBench parses "BenchmarkName-8  1314  982525 ns/op  300029 B/op ...".
+func parseBench(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsPerOp = val
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[fields[i+1]] = val
+		}
+	}
+	return r, true
+}

@@ -65,6 +65,13 @@ type Generator struct {
 
 	atomMu    sync.Mutex
 	atomCache map[string]*atomEntry
+
+	// planCache memoizes compiled query plans per rewriting signature. A
+	// plan captures the relation instances and statistics it was compiled
+	// against, so the cache lives exactly one cache generation: it is
+	// dropped together with the view and atom caches (DESIGN.md §3, §6).
+	planMu    sync.Mutex
+	planCache map[string]*eval.Plan
 }
 
 // viewEntry is one singleflight materialization slot: the goroutine that
@@ -94,6 +101,7 @@ func NewGenerator(reg *Registry, db *storage.Database) *Generator {
 		pol:       policy.Default(),
 		viewCache: make(map[string]*viewEntry),
 		atomCache: make(map[string]*atomEntry),
+		planCache: make(map[string]*eval.Plan),
 		paramPos:  make(map[string][]int),
 	}
 }
@@ -126,13 +134,13 @@ func (g *Generator) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// InvalidateCache drops materialized views and resolved citation records;
-// call after modifying the database (core.System does this on every
-// Commit). In-flight materializations finish against the orphaned entries
-// and are re-done on next demand. paramPos is deliberately retained: it is
-// derived from view definitions, not data, and an in-flight Cite's
-// annotator may still be reading it. The evolution package refreshes the
-// caches incrementally instead.
+// InvalidateCache drops materialized views, resolved citation records and
+// compiled query plans; call after modifying the database (core.System
+// does this on every Commit). In-flight materializations finish against
+// the orphaned entries and are re-done on next demand. paramPos is
+// deliberately retained: it is derived from view definitions, not data,
+// and an in-flight Cite's annotator may still be reading it. The evolution
+// package refreshes the caches incrementally instead.
 func (g *Generator) InvalidateCache() {
 	g.viewMu.Lock()
 	g.viewCache = make(map[string]*viewEntry)
@@ -141,6 +149,10 @@ func (g *Generator) InvalidateCache() {
 	g.atomMu.Lock()
 	g.atomCache = make(map[string]*atomEntry)
 	g.atomMu.Unlock()
+
+	g.planMu.Lock()
+	g.planCache = make(map[string]*eval.Plan)
+	g.planMu.Unlock()
 }
 
 // TupleCitation is the citation of a single answer tuple: its full formal
@@ -173,11 +185,23 @@ type Result struct {
 	Stats      Stats
 }
 
-// branch is the annotated evaluation of one rewriting: tuple key ->
-// Σ_B Π_i CV_i(B_i).
+// branch is the annotated evaluation of one rewriting: per answer tuple,
+// Σ_B Π_i CV_i(B_i). Lookup by tuple goes through the evaluator's
+// open-addressed TupleIndex (ids match positions in annotated), so neither
+// construction nor lookup builds Key() strings.
 type branch struct {
-	exprs     map[string]citeexpr.Expr
 	annotated []eval.Annotated[citeexpr.Expr]
+	ix        eval.TupleIndex
+}
+
+// expr returns the branch's citation expression for the tuple, if the
+// tuple is in this branch's answer.
+func (b *branch) expr(t storage.Tuple) (citeexpr.Expr, bool) {
+	id, ok := b.ix.Get(t)
+	if !ok {
+		return nil, false
+	}
+	return b.annotated[id].Annotation, true
 }
 
 // Cite constructs the citation for q's answer over the generator's
@@ -240,18 +264,17 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 	}
 	res.Stats.RewritingsEvaluated = len(evalSet)
 
-	tupleByKey := make(map[string]storage.Tuple)
-	var keyOrder []string
-	for _, b := range branches {
-		for _, a := range b.annotated {
-			k := a.Tuple.Key()
-			if _, seen := tupleByKey[k]; !seen {
-				tupleByKey[k] = a.Tuple
-				keyOrder = append(keyOrder, k)
-			}
+	// Union of answer tuples across branches, deduplicated through the
+	// evaluator's open-addressed TupleIndex (no Key() strings) and emitted
+	// in canonical tuple order.
+	var union eval.TupleIndex
+	for i := range branches {
+		for _, a := range branches[i].annotated {
+			union.AddOwned(a.Tuple)
 		}
 	}
-	sort.Strings(keyOrder)
+	tuples := append([]storage.Tuple(nil), union.Tuples()...)
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i].Compare(tuples[j]) < 0 })
 
 	// Choose the +R branch globally, the way the paper's closing example
 	// does: the size of a rewriting's citation is the number of distinct
@@ -263,12 +286,12 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 	chosen := -1
 	if pol.AltR != policy.AllBranches && len(branches) > 1 {
 		sizes := make([]int, len(branches))
-		for i, b := range branches {
+		for i := range branches {
 			atoms := make(map[string]bool)
-			for _, e := range b.exprs {
-				for _, a := range citeexpr.Atoms(e) {
-					atoms[a.Key()] = true
-				}
+			for _, a := range branches[i].annotated {
+				citeexpr.VisitAtoms(a.Annotation, func(at citeexpr.Atom) {
+					atoms[at.Key()] = true
+				})
 			}
 			sizes[i] = len(atoms)
 		}
@@ -286,17 +309,18 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 
 	resolver := g.resolver(&res.Stats)
 	var aggChildren []citeexpr.Expr
-	for _, k := range keyOrder {
+	records := make([]format.Record, 0, len(tuples))
+	for _, tup := range tuples {
 		var children []citeexpr.Expr
-		for _, b := range branches {
-			if e, ok := b.exprs[k]; ok {
+		for i := range branches {
+			if e, ok := branches[i].expr(tup); ok {
 				children = append(children, e)
 			}
 		}
 		full := citeexpr.AltR{Children: children}
 		var selected citeexpr.Expr
 		if chosen >= 0 {
-			if e, ok := branches[chosen].exprs[k]; ok {
+			if e, ok := branches[chosen].expr(tup); ok {
 				selected = e
 			} else {
 				// The chosen branch somehow misses this tuple (cannot
@@ -312,19 +336,19 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 			return nil, err
 		}
 		res.Tuples = append(res.Tuples, TupleCitation{
-			Tuple:    tupleByKey[k],
+			Tuple:    tup,
 			Expr:     full,
 			Selected: selected,
 			Record:   rec,
 		})
 		aggChildren = append(aggChildren, selected)
+		records = append(records, rec)
 	}
 	res.Expr = citeexpr.Agg{Children: aggChildren}
-	rec, err := pol.Eval(res.Expr, resolver)
-	if err != nil {
-		return nil, err
-	}
-	res.Record = rec
+	// The Agg children are exactly the selected expressions resolved above,
+	// so the result-level record aggregates the per-tuple records directly
+	// instead of re-resolving every atom of every tuple.
+	res.Record = pol.EvalAgg(records)
 	return res, nil
 }
 
@@ -341,14 +365,14 @@ func (g *Generator) evalBranches(evalSet []*rewrite.Rewriting) ([]branch, error)
 		if err != nil {
 			return branch{}, err
 		}
-		annotated, err := eval.EvalAnnotatedParallel[citeexpr.Expr](
-			inst, rw.AsQuery("rw"), citeexpr.Semiring{}, annot, innerWorkers)
+		plan, err := g.planFor(inst, rw.AsQuery("rw"))
 		if err != nil {
 			return branch{}, err
 		}
-		b := branch{annotated: annotated, exprs: make(map[string]citeexpr.Expr, len(annotated))}
+		annotated := eval.RunAnnotatedParallel[citeexpr.Expr](plan, citeexpr.Semiring{}, annot, innerWorkers)
+		b := branch{annotated: annotated}
 		for _, a := range annotated {
-			b.exprs[a.Tuple.Key()] = a.Annotation
+			b.ix.AddOwned(a.Tuple)
 		}
 		return b, nil
 	}
@@ -407,6 +431,32 @@ func (g *Generator) CiteTuple(q *cq.Query, t storage.Tuple) (*TupleCitation, err
 		}
 	}
 	return nil, fmt.Errorf("citation: tuple %s is not in the answer of %s", t, q.Name)
+}
+
+// planFor returns the compiled evaluation plan for q over inst, memoized
+// by the query's canonical signature (two rewritings equal up to variable
+// renaming share one plan). A plan captures relation instances and
+// compile-time statistics, so cached plans live exactly one cache
+// generation: InvalidateCache drops them together with the materialized
+// views they reference, which keeps DESIGN.md §3's invalidation rule
+// covering them. A compilation race is benign — the last writer wins and
+// every compiled plan is correct.
+func (g *Generator) planFor(inst eval.Instance, q *cq.Query) (*eval.Plan, error) {
+	sig := q.Signature()
+	g.planMu.Lock()
+	p := g.planCache[sig]
+	g.planMu.Unlock()
+	if p != nil {
+		return p, nil
+	}
+	p, err := eval.Compile(inst, q)
+	if err != nil {
+		return nil, err
+	}
+	g.planMu.Lock()
+	g.planCache[sig] = p
+	g.planMu.Unlock()
+	return p, nil
 }
 
 // instanceFor materializes (with caching) the view instances a rewriting
@@ -510,7 +560,9 @@ func (g *Generator) annotator() func(pred string, t storage.Tuple) citeexpr.Expr
 		for i, p := range pos {
 			params[i] = t[p]
 		}
-		return citeexpr.Atom{View: pred, Params: params}
+		// NewAtom precomputes the canonical rendering, so the semiring ops
+		// and the record cache never re-render this atom.
+		return citeexpr.NewAtom(pred, params...)
 	}
 }
 

@@ -32,15 +32,30 @@ type Expr interface {
 // Atom is an instantiated citation reference CV(p1,…,pk) for a view: the
 // view's citation, parameterized by the λ-parameter values of one binding.
 // Unparameterized views yield atoms with empty Params (written CV).
+//
+// canon, when non-empty, caches the rendered form. NewAtom fills it at
+// construction so the annotated evaluator's inner loop — which keys
+// semiring deduplication and the citation-record cache on it — never
+// re-renders an atom; struct-literal construction still works and falls
+// back to rendering on demand.
 type Atom struct {
 	View   string
 	Params []value.Value
+
+	canon string
 }
 
 func (Atom) isExpr() {}
 
 // String renders CV(p1,…,pk), or just CV when unparameterized.
 func (a Atom) String() string {
+	if a.canon != "" {
+		return a.canon
+	}
+	return a.render()
+}
+
+func (a Atom) render() string {
 	if len(a.Params) == 0 {
 		return "C" + a.View
 	}
@@ -59,8 +74,14 @@ func (a Atom) Key() string { return a.Canonical() }
 
 // Joint is the `·` operator: joint use of citations within one binding of
 // one rewriting (Definition 2.1). An empty Joint is the neutral citation
-// (contributes nothing).
-type Joint struct{ Children []Expr }
+// (contributes nothing). canon, when non-empty, caches the canonical
+// encoding; the semiring's Times fills it at construction so downstream
+// deduplication never re-canonicalizes a product.
+type Joint struct {
+	Children []Expr
+
+	canon string
+}
 
 func (Joint) isExpr() {}
 
@@ -68,7 +89,12 @@ func (Joint) isExpr() {}
 func (j Joint) String() string { return renderNary(j.Children, "·", "1") }
 
 // Canonical returns the normalized encoding (children sorted, flattened).
-func (j Joint) Canonical() string { return canonNary("J", flatten(j.Children, isJoint)) }
+func (j Joint) Canonical() string {
+	if j.canon != "" {
+		return j.canon
+	}
+	return canonNary("J", flatten(j.Children, isJoint))
+}
 
 // Alt is the `+` operator: alternative citations arising from multiple
 // bindings of a single rewriting (Definition 2.2). An empty Alt denotes
@@ -195,34 +221,38 @@ func canonNary(tag string, children []Expr) string {
 // child reordering.
 func Equal(a, b Expr) bool { return a.Canonical() == b.Canonical() }
 
+// VisitAtoms walks the expression and invokes fn for every atom
+// occurrence (duplicates included), allocating nothing. Consumers that
+// need distinct atoms deduplicate on Atom.Key themselves; Atoms and Size
+// are built on it.
+func VisitAtoms(e Expr, fn func(Atom)) {
+	switch n := e.(type) {
+	case Atom:
+		fn(n)
+	case Joint:
+		for _, c := range n.Children {
+			VisitAtoms(c, fn)
+		}
+	case Alt:
+		for _, c := range n.Children {
+			VisitAtoms(c, fn)
+		}
+	case AltR:
+		for _, c := range n.Children {
+			VisitAtoms(c, fn)
+		}
+	case Agg:
+		for _, c := range n.Children {
+			VisitAtoms(c, fn)
+		}
+	}
+}
+
 // Atoms returns the distinct atoms of the expression in deterministic
 // order.
 func Atoms(e Expr) []Atom {
 	seen := make(map[string]Atom)
-	var walk func(Expr)
-	walk = func(x Expr) {
-		switch n := x.(type) {
-		case Atom:
-			seen[n.Key()] = n
-		case Joint:
-			for _, c := range n.Children {
-				walk(c)
-			}
-		case Alt:
-			for _, c := range n.Children {
-				walk(c)
-			}
-		case AltR:
-			for _, c := range n.Children {
-				walk(c)
-			}
-		case Agg:
-			for _, c := range n.Children {
-				walk(c)
-			}
-		}
-	}
-	walk(e)
+	VisitAtoms(e, func(a Atom) { seen[a.Key()] = a })
 	keys := make([]string, 0, len(seen))
 	for k := range seen {
 		keys = append(keys, k)
@@ -238,8 +268,22 @@ func Atoms(e Expr) []Atom {
 // Size returns the number of distinct atoms in the expression — the
 // paper's "estimated size" of a citation (§2 closing example: the
 // parameterized rewriting has size ∝ |Family|, the unparameterized one has
-// size 1).
-func Size(e Expr) int { return len(Atoms(e)) }
+// size 1). It deduplicates through a small scratch slice instead of a map:
+// +R branch selection calls it per tuple, and citation expressions rarely
+// hold more than a handful of distinct atoms.
+func Size(e Expr) int {
+	var keys []string
+	VisitAtoms(e, func(a Atom) {
+		k := a.Key()
+		for _, s := range keys {
+			if s == k {
+				return
+			}
+		}
+		keys = append(keys, k)
+	})
+	return len(keys)
+}
 
 // Semiring adapts citation expressions to the semiring interface so the
 // annotated evaluator can propagate them: Plus is `+` (alternative
@@ -256,6 +300,21 @@ func (Semiring) Zero() Expr { return Alt{} }
 // One returns the empty joint (neutral citation).
 func (Semiring) One() Expr { return Joint{} }
 
+// appendDedup appends e to dst unless an expression with the same
+// canonical encoding is already present, preserving first-occurrence
+// order. The linear scan compares cached canonical strings, so the
+// annotated evaluator's inner loop allocates no per-operation map — the
+// dedup cost the interpreter used to pay on every binding.
+func appendDedup(dst []Expr, e Expr) []Expr {
+	k := e.Canonical()
+	for _, d := range dst {
+		if d.Canonical() == k {
+			return dst
+		}
+	}
+	return append(dst, e)
+}
+
 // Plus combines alternatives, flattening, dropping zeros, and deduplicating
 // identical alternatives. Deduplication makes `+` idempotent, which is
 // sound for every policy this system implements (union, join/intersection
@@ -264,21 +323,14 @@ func (Semiring) One() Expr { return Joint{} }
 // citations appear once.
 func (Semiring) Plus(a, b Expr) Expr {
 	var children []Expr
-	seen := make(map[string]bool)
-	for _, e := range []Expr{a, b} {
+	for _, e := range [2]Expr{a, b} {
 		if alt, ok := e.(Alt); ok {
 			for _, c := range alt.Children {
-				if k := c.Canonical(); !seen[k] {
-					seen[k] = true
-					children = append(children, c)
-				}
+				children = appendDedup(children, c)
 			}
 			continue
 		}
-		if k := e.Canonical(); !seen[k] {
-			seen[k] = true
-			children = append(children, e)
-		}
+		children = appendDedup(children, e)
 	}
 	if len(children) == 1 {
 		return children[0]
@@ -288,32 +340,27 @@ func (Semiring) Plus(a, b Expr) Expr {
 
 // Times combines joint uses, flattening and deduplicating identical
 // factors (idempotent `·`, sound for the implemented policies); zero
-// annihilates.
+// annihilates. The resulting product carries its canonical encoding, so
+// the Plus that follows in Σ-over-bindings deduplicates it by string
+// comparison alone.
 func (Semiring) Times(a, b Expr) Expr {
 	if isZero(a) || isZero(b) {
 		return Alt{}
 	}
 	var children []Expr
-	seen := make(map[string]bool)
-	for _, e := range []Expr{a, b} {
+	for _, e := range [2]Expr{a, b} {
 		if j, ok := e.(Joint); ok {
 			for _, c := range j.Children {
-				if k := c.Canonical(); !seen[k] {
-					seen[k] = true
-					children = append(children, c)
-				}
+				children = appendDedup(children, c)
 			}
 			continue
 		}
-		if k := e.Canonical(); !seen[k] {
-			seen[k] = true
-			children = append(children, e)
-		}
+		children = appendDedup(children, e)
 	}
 	if len(children) == 1 {
 		return children[0]
 	}
-	return Joint{Children: children}
+	return Joint{Children: children, canon: canonNary("J", children)}
 }
 
 // Equal reports canonical equality.
@@ -327,9 +374,13 @@ func isZero(e Expr) bool {
 	return ok && len(alt.Children) == 0
 }
 
-// NewAtom constructs a citation atom.
+// NewAtom constructs a citation atom with its canonical rendering
+// precomputed — the constructor the annotated evaluator's hot path uses,
+// so every later Canonical/Key/String call on the atom is a field read.
 func NewAtom(view string, params ...value.Value) Atom {
-	return Atom{View: view, Params: params}
+	a := Atom{View: view, Params: params}
+	a.canon = a.render()
+	return a
 }
 
 // Describe returns a short human-readable summary: operator counts and

@@ -9,9 +9,16 @@
 // polynomial per output tuple is exactly the paper's
 // Σ_B  F_V1(CV1(B1)) · … · F_Vn(CVn(Bn))  (Definitions 2.1 and 2.2).
 //
-// Join processing is index-nested-loop with a greedy bound-variable
-// ordering heuristic; relations expose optional hash indexes (see
-// package storage).
+// Evaluation is compiled: Compile(inst, q) produces a Plan that numbers
+// variables into integer slots, orders atoms once using relation
+// statistics, and precomputes per-atom access paths; Plan runs enumerate
+// over a flat register file with index-nested-loop joins and deduplicate
+// through an open-addressed hash table (see plan.go). Eval, ForEachBinding
+// and the EvalAnnotated family are thin compile-and-run wrappers; callers
+// with a hot query cache the Plan instead (the citation generator caches
+// one per rewriting per cache generation). The pre-plan interpreter is
+// retained at the bottom of this file as the oracle the randomized
+// equivalence tests compare plans against.
 package eval
 
 import (
@@ -64,10 +71,128 @@ type Annotated[T any] struct {
 	Annotation T
 }
 
+// coerceConstants aligns constant terms with the kinds the relation's
+// columns declare: the query syntax writes every quoted literal as a
+// string, so a constant like '2026-01-15T00:00:00Z' compared against a
+// time column must be lifted to a time value (and integer literals to
+// float columns). Unliftable constants are left alone — they simply never
+// match, which is the correct empty-answer semantics.
+func coerceConstants(a cq.Atom, rel *storage.Relation) cq.Atom {
+	var out *cq.Atom
+	for i, t := range a.Terms {
+		if t.IsVar || i >= rel.Schema().Arity() {
+			continue
+		}
+		want := rel.Schema().Attributes[i].Kind
+		if t.Const.Kind() == want {
+			continue
+		}
+		var lifted value.Value
+		switch {
+		case want == value.KindTime && t.Const.Kind() == value.KindString:
+			lifted = value.Parse(t.Const.Str())
+			if lifted.Kind() != value.KindTime {
+				continue
+			}
+		case want == value.KindFloat && t.Const.Kind() == value.KindInt:
+			lifted = value.Float(float64(t.Const.IntVal()))
+		default:
+			continue
+		}
+		if out == nil {
+			c := a.Clone()
+			out = &c
+		}
+		out.Terms[i] = cq.Const(lifted)
+	}
+	if out != nil {
+		return *out
+	}
+	return a
+}
+
+// Eval computes the distinct answer tuples of q over inst (set semantics),
+// in deterministic (sorted) order. It compiles and runs a Plan; callers
+// evaluating the same query repeatedly should Compile once and reuse it.
+func Eval(inst Instance, q *cq.Query) ([]storage.Tuple, error) {
+	p, err := Compile(inst, q)
+	if err != nil {
+		return nil, err
+	}
+	return p.Eval(), nil
+}
+
+// ForEachBinding enumerates every satisfying assignment of q's body
+// variables, invoking fn with each complete binding. fn returning false
+// stops the enumeration early. Each callback receives a freshly built
+// Binding it may retain; read-only consumers that only count or test
+// existence should use CountBindings or HasBinding, which build no maps.
+func ForEachBinding(inst Instance, q *cq.Query, fn func(Binding) bool) error {
+	p, err := Compile(inst, q)
+	if err != nil {
+		return err
+	}
+	p.ForEachBinding(fn)
+	return nil
+}
+
+// CountBindings returns the number of satisfying assignments (derivations),
+// i.e. the bag-semantics multiplicity summed over all output tuples. It
+// allocates nothing per assignment.
+func CountBindings(inst Instance, q *cq.Query) (int, error) {
+	p, err := Compile(inst, q)
+	if err != nil {
+		return 0, err
+	}
+	return p.CountBindings(), nil
+}
+
+// HasBinding reports whether q has at least one satisfying assignment,
+// stopping at the first — the allocation-free existence check used by
+// incremental view maintenance.
+func HasBinding(inst Instance, q *cq.Query) (bool, error) {
+	p, err := Compile(inst, q)
+	if err != nil {
+		return false, err
+	}
+	return p.HasBinding(), nil
+}
+
+// EvalAnnotated evaluates q under the semiring sr. The base annotation of
+// each matched tuple is supplied by annot(predicate, tuple); per output
+// tuple the result is Σ over bindings of Π over body atoms, exactly the
+// semiring semantics of Green et al. Output order is deterministic.
+// EvalAnnotatedParallel is the same computation partitioned across
+// goroutines.
+func EvalAnnotated[T any](inst Instance, q *cq.Query, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T) ([]Annotated[T], error) {
+	return EvalAnnotatedParallel(inst, q, sr, annot, 1)
+}
+
+// Materialize evaluates q and loads its distinct answers into a fresh
+// relation with the given schema. It is used to materialize view instances
+// before evaluating rewritings over them.
+func Materialize(inst Instance, q *cq.Query, rs *storage.Relation) error {
+	tuples, err := Eval(inst, q)
+	if err != nil {
+		return err
+	}
+	for _, t := range tuples {
+		if _, err := rs.Insert(t); err != nil {
+			return fmt.Errorf("eval: materializing %s: %w", q.Name, err)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Naive interpreter — the pre-plan evaluator, retained as the oracle the
+// randomized equivalence tests compare compiled plans against. It re-derives
+// the atom order per call and enumerates through Binding maps; nothing in
+// the production path uses it.
+
 // orderAtoms returns an evaluation order for the body atoms: greedily pick
 // the atom with the most terms bound so far (constants or previously bound
-// variables), breaking ties by smaller relation cardinality. This keeps
-// index-nested-loop joins selective without a full optimizer.
+// variables), breaking ties by smaller relation cardinality.
 func orderAtoms(inst Instance, body []cq.Atom) ([]cq.Atom, error) {
 	remaining := make([]cq.Atom, 0, len(body))
 	for _, a := range body {
@@ -110,48 +235,11 @@ func orderAtoms(inst Instance, body []cq.Atom) ([]cq.Atom, error) {
 	return out, nil
 }
 
-// coerceConstants aligns constant terms with the kinds the relation's
-// columns declare: the query syntax writes every quoted literal as a
-// string, so a constant like '2026-01-15T00:00:00Z' compared against a
-// time column must be lifted to a time value (and integer literals to
-// float columns). Unliftable constants are left alone — they simply never
-// match, which is the correct empty-answer semantics.
-func coerceConstants(a cq.Atom, rel *storage.Relation) cq.Atom {
-	var out *cq.Atom
-	for i, t := range a.Terms {
-		if t.IsVar || i >= rel.Schema().Arity() {
-			continue
-		}
-		want := rel.Schema().Attributes[i].Kind
-		if t.Const.Kind() == want {
-			continue
-		}
-		var lifted value.Value
-		switch {
-		case want == value.KindTime && t.Const.Kind() == value.KindString:
-			lifted = value.Parse(t.Const.Str())
-			if lifted.Kind() != value.KindTime {
-				continue
-			}
-		case want == value.KindFloat && t.Const.Kind() == value.KindInt:
-			lifted = value.Float(float64(t.Const.IntVal()))
-		default:
-			continue
-		}
-		if out == nil {
-			c := a.Clone()
-			out = &c
-		}
-		out.Terms[i] = cq.Const(lifted)
-	}
-	if out != nil {
-		return *out
-	}
-	return a
-}
-
 // matchAtom finds the live tuples of the atom's relation compatible with
-// the current binding, preferring an indexed bound column.
+// the current binding, preferring an indexed bound column. Repeated-variable
+// positions are resolved to column pairs once, before the candidate loop —
+// the interpreter used to allocate a map per candidate tuple for this check
+// even when the atom had no repeated variables at all.
 func matchAtom(inst Instance, a cq.Atom, b Binding) []storage.Tuple {
 	rel := inst.Relation(a.Predicate)
 	// Collect bound columns.
@@ -163,6 +251,20 @@ func matchAtom(inst Instance, a cq.Atom, b Binding) []storage.Tuple {
 	for i, t := range a.Terms {
 		if v, ok := b.Apply(t); ok {
 			bounds = append(bounds, boundCol{i, v})
+		}
+	}
+	// Repeated-variable equality: column pairs (j, i), j < i, naming the
+	// same variable.
+	var dupPairs [][2]int
+	for i := 1; i < len(a.Terms); i++ {
+		if !a.Terms[i].IsVar {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if a.Terms[j].IsVar && a.Terms[j].Name == a.Terms[i].Name {
+				dupPairs = append(dupPairs, [2]int{j, i})
+				break
+			}
 		}
 	}
 	var candidates []storage.Tuple
@@ -183,23 +285,16 @@ func matchAtom(inst Instance, a cq.Atom, b Binding) []storage.Tuple {
 	out := candidates[:0:0]
 	for _, t := range candidates {
 		ok := true
-		seen := make(map[string]value.Value, len(a.Terms))
-		for i, term := range a.Terms {
-			if v, bound := b.Apply(term); bound {
-				if t[i] != v {
-					ok = false
-					break
-				}
+		for _, bc := range bounds {
+			if t[bc.col] != bc.val {
+				ok = false
+				break
 			}
-			if term.IsVar {
-				if prev, dup := seen[term.Name]; dup {
-					if prev != t[i] {
-						ok = false
-						break
-					}
-				} else {
-					seen[term.Name] = t[i]
-				}
+		}
+		for _, d := range dupPairs {
+			if !ok || t[d[0]] != t[d[1]] {
+				ok = false
+				break
 			}
 		}
 		if ok {
@@ -213,14 +308,6 @@ func matchAtom(inst Instance, a cq.Atom, b Binding) []storage.Tuple {
 // invoking fn with the binding and the matched tuple per atom (parallel to
 // atoms). fn returning false stops the walk.
 func enumerate(inst Instance, atoms []cq.Atom, fn func(Binding, []storage.Tuple) bool) {
-	enumerateLeading(inst, atoms, nil, fn)
-}
-
-// enumerateLeading is enumerate with the leading atom's candidate tuples
-// supplied by the caller (nil means compute them via matchAtom). The
-// parallel annotated evaluator injects one contiguous chunk of the leading
-// candidates per worker; everything else shares this single recursion.
-func enumerateLeading(inst Instance, atoms []cq.Atom, leading []storage.Tuple, fn func(Binding, []storage.Tuple) bool) {
 	matched := make([]storage.Tuple, len(atoms))
 	b := make(Binding)
 	var rec func(i int) bool
@@ -229,11 +316,7 @@ func enumerateLeading(inst Instance, atoms []cq.Atom, leading []storage.Tuple, f
 			return fn(b, matched)
 		}
 		a := atoms[i]
-		cands := leading
-		if i > 0 || cands == nil {
-			cands = matchAtom(inst, a, b)
-		}
-		for _, t := range cands {
+		for _, t := range matchAtom(inst, a, b) {
 			var newly []string
 			for j, term := range a.Terms {
 				if term.IsVar {
@@ -270,9 +353,9 @@ func headTuple(q *cq.Query, b Binding) (storage.Tuple, error) {
 	return out, nil
 }
 
-// Eval computes the distinct answer tuples of q over inst (set semantics),
-// in deterministic (sorted) order.
-func Eval(inst Instance, q *cq.Query) ([]storage.Tuple, error) {
+// naiveEval is the pre-plan Eval: order atoms per call, enumerate through
+// Binding maps, deduplicate through Key() strings.
+func naiveEval(inst Instance, q *cq.Query) ([]storage.Tuple, error) {
 	if q.IsConstant() {
 		t := make(storage.Tuple, len(q.Head))
 		for i, term := range q.Head {
@@ -309,57 +392,51 @@ func Eval(inst Instance, q *cq.Query) ([]storage.Tuple, error) {
 	return out, nil
 }
 
-// ForEachBinding enumerates every satisfying assignment of q's body
-// variables, invoking fn with each complete binding. fn returning false
-// stops the enumeration early.
-func ForEachBinding(inst Instance, q *cq.Query, fn func(Binding) bool) error {
+// naiveEvalAnnotated is the pre-plan EvalAnnotated (sequential only).
+func naiveEvalAnnotated[T any](inst Instance, q *cq.Query, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T) ([]Annotated[T], error) {
 	if q.IsConstant() {
-		fn(Binding{})
-		return nil
+		t := make(storage.Tuple, len(q.Head))
+		for i, term := range q.Head {
+			if term.IsVar {
+				return nil, fmt.Errorf("eval: unsafe constant query %s", q.Name)
+			}
+			t[i] = term.Const
+		}
+		return []Annotated[T]{{Tuple: t, Annotation: sr.One()}}, nil
 	}
 	atoms, err := orderAtoms(inst, q.Body)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	enumerate(inst, atoms, func(b Binding, _ []storage.Tuple) bool {
-		return fn(b.Clone())
-	})
-	return nil
-}
-
-// CountBindings returns the number of satisfying assignments (derivations),
-// i.e. the bag-semantics multiplicity summed over all output tuples.
-func CountBindings(inst Instance, q *cq.Query) (int, error) {
-	n := 0
-	err := ForEachBinding(inst, q, func(Binding) bool {
-		n++
+	acc := make(map[string]*Annotated[T])
+	var order []string
+	var evalErr error
+	enumerate(inst, atoms, func(b Binding, matched []storage.Tuple) bool {
+		t, err := headTuple(q, b)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		prod := sr.One()
+		for j, a := range atoms {
+			prod = sr.Times(prod, annot(a.Predicate, matched[j]))
+		}
+		k := t.Key()
+		if cur, ok := acc[k]; ok {
+			cur.Annotation = sr.Plus(cur.Annotation, prod)
+		} else {
+			acc[k] = &Annotated[T]{Tuple: t.Clone(), Annotation: prod}
+			order = append(order, k)
+		}
 		return true
 	})
-	return n, err
-}
-
-// EvalAnnotated evaluates q under the semiring sr. The base annotation of
-// each matched tuple is supplied by annot(predicate, tuple); per output
-// tuple the result is Σ over bindings of Π over body atoms, exactly the
-// semiring semantics of Green et al. Output order is deterministic.
-// EvalAnnotatedParallel is the same computation partitioned across
-// goroutines.
-func EvalAnnotated[T any](inst Instance, q *cq.Query, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T) ([]Annotated[T], error) {
-	return EvalAnnotatedParallel(inst, q, sr, annot, 1)
-}
-
-// Materialize evaluates q and loads its distinct answers into a fresh
-// relation with the given schema. It is used to materialize view instances
-// before evaluating rewritings over them.
-func Materialize(inst Instance, q *cq.Query, rs *storage.Relation) error {
-	tuples, err := Eval(inst, q)
-	if err != nil {
-		return err
+	if evalErr != nil {
+		return nil, evalErr
 	}
-	for _, t := range tuples {
-		if _, err := rs.Insert(t); err != nil {
-			return fmt.Errorf("eval: materializing %s: %w", q.Name, err)
-		}
+	out := make([]Annotated[T], 0, len(acc))
+	for _, k := range order {
+		out = append(out, *acc[k])
 	}
-	return nil
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out, nil
 }

@@ -1,9 +1,7 @@
 package eval
 
 import (
-	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/cq"
@@ -16,108 +14,51 @@ import (
 // the join work saved.
 const minLeadingPerWorker = 8
 
-// annotAcc accumulates per-output-tuple annotations in first-occurrence
-// order, the invariant both the sequential and the parallel evaluator
-// preserve so their results are identical.
-type annotAcc[T any] struct {
-	acc   map[string]*Annotated[T]
-	order []string
-}
-
-// evalAnnotatedLeading enumerates every satisfying assignment whose
-// leading-atom tuple ranges over leading (in order), summing the
-// per-binding products into acc. It is the single evaluation core shared by
-// EvalAnnotated and EvalAnnotatedParallel: the sequential evaluator passes
-// all candidates of the leading atom, a parallel worker passes one
-// contiguous chunk of them.
-func evalAnnotatedLeading[T any](inst Instance, q *cq.Query, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T, atoms []cq.Atom, leading []storage.Tuple) (*annotAcc[T], error) {
-	out := &annotAcc[T]{acc: make(map[string]*Annotated[T])}
-	var evalErr error
-	enumerateLeading(inst, atoms, leading, func(b Binding, matched []storage.Tuple) bool {
-		t, err := headTuple(q, b)
-		if err != nil {
-			evalErr = err
-			return false
-		}
-		prod := sr.One()
-		for j, a := range atoms {
-			prod = sr.Times(prod, annot(a.Predicate, matched[j]))
-		}
-		k := t.Key()
-		if cur, ok := out.acc[k]; ok {
-			cur.Annotation = sr.Plus(cur.Annotation, prod)
-		} else {
-			out.acc[k] = &Annotated[T]{Tuple: t.Clone(), Annotation: prod}
-			out.order = append(out.order, k)
-		}
-		return true
-	})
-	if evalErr != nil {
-		return nil, evalErr
-	}
-	return out, nil
-}
-
-// finishAnnotated converts the accumulator into the sorted output slice.
-func finishAnnotated[T any](a *annotAcc[T]) []Annotated[T] {
-	out := make([]Annotated[T], 0, len(a.acc))
-	for _, k := range a.order {
-		out = append(out, *a.acc[k])
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
-	return out
-}
-
-// constantAnnotated handles the body-less constant-query case shared by
-// both evaluators.
-func constantAnnotated[T any](q *cq.Query, sr semiring.Semiring[T]) ([]Annotated[T], error) {
-	t := make(storage.Tuple, len(q.Head))
-	for i, term := range q.Head {
-		if term.IsVar {
-			return nil, fmt.Errorf("eval: unsafe constant query %s", q.Name)
-		}
-		t[i] = term.Const
-	}
-	return []Annotated[T]{{Tuple: t, Annotation: sr.One()}}, nil
-}
-
 // EvalAnnotatedParallel is EvalAnnotated with the enumeration partitioned
 // over the leading atom's candidate tuples and evaluated by up to workers
-// goroutines (workers <= 0 means GOMAXPROCS). Chunks are contiguous and
-// merged in chunk order, so for any semiring with associative Plus the
-// result — including the structure of free-expression annotations such as
-// citeexpr — is identical to the sequential evaluation. annot must be safe
-// for concurrent calls.
+// goroutines (workers <= 0 means GOMAXPROCS). It compiles a Plan and runs
+// it; callers with a hot query should Compile once and call
+// RunAnnotatedParallel on the cached plan.
 func EvalAnnotatedParallel[T any](inst Instance, q *cq.Query, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T, workers int) ([]Annotated[T], error) {
-	if q.IsConstant() {
-		return constantAnnotated(q, sr)
-	}
-	atoms, err := orderAtoms(inst, q.Body)
+	p, err := Compile(inst, q)
 	if err != nil {
 		return nil, err
 	}
-	var leading []storage.Tuple
-	if len(atoms) > 0 {
-		leading = matchAtom(inst, atoms[0], Binding{})
+	return RunAnnotatedParallel(p, sr, annot, workers), nil
+}
+
+// RunAnnotatedParallel runs an annotated evaluation of the compiled plan
+// with the enumeration partitioned over the leading atom's candidate
+// tuples and evaluated by up to workers goroutines (workers <= 0 means
+// GOMAXPROCS). Chunks are contiguous and merged in chunk order, so for any
+// semiring with associative Plus the result — including the structure of
+// free-expression annotations such as citeexpr — is identical to the
+// sequential evaluation. annot must be safe for concurrent calls.
+func RunAnnotatedParallel[T any](p *Plan, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T, workers int) []Annotated[T] {
+	if p.constant {
+		return constantRun(p, sr)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers <= 1 {
+		// Sequential run: leave leading nil so step 0 enumerates through
+		// the pooled candidate buffer instead of materializing a fresh
+		// slice per call.
+		return finishAnnotated(runAnnotatedLeading(p, sr, annot, nil))
+	}
+	leading := p.leadingCandidates()
 	if max := len(leading) / minLeadingPerWorker; workers > max {
 		workers = max
 	}
-	if workers <= 1 || len(atoms) == 0 {
-		acc, err := evalAnnotatedLeading(inst, q, sr, annot, atoms, leading)
-		if err != nil {
-			return nil, err
-		}
-		return finishAnnotated(acc), nil
+	if workers <= 1 {
+		// Too few leading tuples to partition; reuse the computed slice.
+		return finishAnnotated(runAnnotatedLeading(p, sr, annot, leading))
 	}
 
 	// Contiguous partition: chunk i covers leading[i*size : (i+1)*size],
 	// preserving the sequential enumeration order across chunk boundaries.
 	results := make([]*annotAcc[T], workers)
-	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	size := (len(leading) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -132,33 +73,28 @@ func EvalAnnotatedParallel[T any](inst Instance, q *cq.Query, sr semiring.Semiri
 		wg.Add(1)
 		go func(w int, chunk []storage.Tuple) {
 			defer wg.Done()
-			results[w], errs[w] = evalAnnotatedLeading(inst, q, sr, annot, atoms, chunk)
+			results[w] = runAnnotatedLeading(p, sr, annot, chunk)
 		}(w, leading[lo:hi])
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 
 	// Merge chunk accumulators in chunk order. Associativity of Plus makes
 	// the left-fold over chunk subtotals equal to the sequential left-fold
-	// over individual bindings.
-	total := &annotAcc[T]{acc: make(map[string]*Annotated[T])}
+	// over individual bindings. Chunk tuples are already owned clones, so
+	// the merged table adopts them without copying.
+	total := &annotAcc[T]{}
 	for _, r := range results {
 		if r == nil {
 			continue
 		}
-		for _, k := range r.order {
-			part := r.acc[k]
-			if cur, ok := total.acc[k]; ok {
-				cur.Annotation = sr.Plus(cur.Annotation, part.Annotation)
+		for i, t := range r.ix.tuples {
+			id, added := total.ix.AddOwned(t)
+			if added {
+				total.anns = append(total.anns, r.anns[i])
 			} else {
-				total.acc[k] = &Annotated[T]{Tuple: part.Tuple, Annotation: part.Annotation}
-				total.order = append(total.order, k)
+				total.anns[id] = sr.Plus(total.anns[id], r.anns[i])
 			}
 		}
 	}
-	return finishAnnotated(total), nil
+	return finishAnnotated(total)
 }

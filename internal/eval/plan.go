@@ -1,0 +1,580 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cq"
+	"repro/internal/semiring"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Plan is a compiled conjunctive query bound to the relation instances it
+// was compiled against. Compilation numbers the query's variables into
+// integer slots, orders the body atoms once using relation statistics
+// (cardinality and per-column distinct counts), and resolves every term of
+// every atom into a precomputed access path: which column to probe with
+// which slot or constant, which columns merely filter, and which columns
+// bind fresh slots. Enumeration then runs over a flat []value.Value
+// register file — no per-binding maps, no per-candidate maps, no Key()
+// strings — and deduplicates output tuples through an open-addressed hash
+// table.
+//
+// A Plan is immutable after Compile and safe for concurrent use: each run
+// draws its mutable state (registers, candidate buffers) from an internal
+// pool, so a cached plan serves any number of goroutines and a warm run
+// performs no per-binding allocation. Plans read their relations live —
+// data mutated after compilation is still observed — but the atom order
+// and probe choices reflect compile-time statistics, which is why the
+// citation generator caches plans per cache generation and drops them
+// whenever Commit or DefineView invalidates the view caches (DESIGN.md §3,
+// §6).
+type Plan struct {
+	query    *cq.Query
+	constant bool          // body-less query: head is all constants
+	constRow storage.Tuple // the single output row of a constant query
+
+	nslots    int
+	slotNames []string // slot -> variable name, for Binding reconstruction
+	steps     []atomStep
+	head      []headSrc
+
+	pool sync.Pool // *runState
+}
+
+// headSrc says where one head column comes from: a register slot or a
+// constant.
+type headSrc struct {
+	slot int // >= 0: regs[slot]; -1: cnst
+	cnst value.Value
+}
+
+// atomStep is one join level: the relation to enumerate, the access path
+// for candidate tuples, and the slot writes/checks to perform per tuple.
+type atomStep struct {
+	pred string
+	rel  *storage.Relation
+
+	// Probe: candidates are the tuples whose probeCol equals the probe
+	// value (taken from regs[probeSlot], or probeConst when probeSlot < 0).
+	// probeCol -1 means a full scan.
+	probeCol   int
+	probeSlot  int
+	probeConst value.Value
+
+	// binds write fresh variables into the register file, in column order.
+	binds []colBind
+	// checks filter candidates: t[col] must equal regs[slot] (or cnst when
+	// slot < 0). Applied after binds, so intra-atom repeated variables are
+	// slot comparisons against the register just written.
+	checks []colCheck
+}
+
+type colBind struct{ col, slot int }
+
+type colCheck struct {
+	col  int
+	slot int // >= 0: compare against regs[slot]; -1: cnst
+	cnst value.Value
+}
+
+// runState is the per-run mutable state drawn from the plan's pool: the
+// register file, the matched tuple per step, one candidate buffer per join
+// depth (reused across iterations, so warm probes allocate nothing), and a
+// reusable head-projection buffer.
+type runState struct {
+	regs    []value.Value
+	matched []storage.Tuple
+	cand    [][]storage.Tuple
+	headBuf storage.Tuple
+}
+
+// Compile builds an execution plan for q over the instances supplied by
+// inst. Unknown relations, arity mismatches and unsafe head variables are
+// reported here, once, instead of on every evaluation. The planner asks
+// relations for the statistics it needs (Len, DistinctCount — both cached
+// by package storage) and builds hash indexes on demand for the probe
+// columns it selects.
+func Compile(inst Instance, q *cq.Query) (*Plan, error) {
+	p := &Plan{query: q}
+	if q.IsConstant() {
+		row := make(storage.Tuple, len(q.Head))
+		for i, term := range q.Head {
+			if term.IsVar {
+				return nil, fmt.Errorf("eval: unsafe constant query %s", q.Name)
+			}
+			row[i] = term.Const
+		}
+		p.constant = true
+		p.constRow = row
+		p.initPool()
+		return p, nil
+	}
+
+	type atomInfo struct {
+		atom cq.Atom
+		rel  *storage.Relation
+	}
+	remaining := make([]atomInfo, 0, len(q.Body))
+	for _, a := range q.Body {
+		rel := inst.Relation(a.Predicate)
+		if rel == nil {
+			return nil, fmt.Errorf("eval: unknown relation %s", a.Predicate)
+		}
+		if rel.Schema().Arity() != len(a.Terms) {
+			return nil, fmt.Errorf("eval: atom %s has arity %d, relation has %d",
+				a.Predicate, len(a.Terms), rel.Schema().Arity())
+		}
+		remaining = append(remaining, atomInfo{coerceConstants(a, rel), rel})
+	}
+
+	// Atom ordering, computed once: greedily pick the atom with the most
+	// terms bound so far (constants or previously bound variables), then
+	// break ties by the smallest estimated candidate count — relation
+	// cardinality divided by the best bound-column selectivity the
+	// statistics admit. This is the interpreter's heuristic upgraded with
+	// distinct counts, paid at compile time instead of per call.
+	bound := make(map[string]bool)
+	ordered := make([]atomInfo, 0, len(remaining))
+	for len(remaining) > 0 {
+		bestIdx, bestScore := -1, -1
+		var bestEst float64
+		for i, ai := range remaining {
+			score := 0
+			n := ai.rel.Len()
+			est := float64(n)
+			for col, t := range ai.atom.Terms {
+				if !t.IsVar || bound[t.Name] {
+					score++
+					if d := ai.rel.DistinctCount(col); d > 0 {
+						if e := float64(n) / float64(d); e < est {
+							est = e
+						}
+					}
+				}
+			}
+			if bestIdx < 0 || score > bestScore || (score == bestScore && est < bestEst) {
+				bestIdx, bestScore, bestEst = i, score, est
+			}
+		}
+		chosen := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		ordered = append(ordered, chosen)
+		for _, t := range chosen.atom.Terms {
+			if t.IsVar {
+				bound[t.Name] = true
+			}
+		}
+	}
+
+	// Slot assignment and access paths.
+	slots := make(map[string]int)
+	for _, ai := range ordered {
+		step := atomStep{pred: ai.atom.Predicate, rel: ai.rel, probeCol: -1, probeSlot: -1}
+		// probeable: columns whose value is known before this atom runs
+		// (constants and slots bound by earlier atoms). Intra-atom repeats
+		// of a fresh variable are NOT probeable — their register is written
+		// by this very tuple — and become plain slot checks.
+		type boundCol struct {
+			col  int
+			slot int
+			cnst value.Value
+		}
+		var probeable []boundCol
+		freshHere := make(map[string]bool)
+		for col, t := range ai.atom.Terms {
+			switch {
+			case !t.IsVar:
+				probeable = append(probeable, boundCol{col, -1, t.Const})
+			case freshHere[t.Name]:
+				step.checks = append(step.checks, colCheck{col, slots[t.Name], value.Value{}})
+			default:
+				if s, ok := slots[t.Name]; ok {
+					probeable = append(probeable, boundCol{col, s, value.Value{}})
+					continue
+				}
+				s := p.nslots
+				p.nslots++
+				slots[t.Name] = s
+				p.slotNames = append(p.slotNames, t.Name)
+				freshHere[t.Name] = true
+				step.binds = append(step.binds, colBind{col, s})
+			}
+		}
+		if len(probeable) > 0 {
+			// Choose the most selective probeable column (largest distinct
+			// count) and make sure an index backs it; remaining probeable
+			// columns degrade to equality checks.
+			pick, pickDistinct := 0, -1
+			for i, bc := range probeable {
+				if d := ai.rel.DistinctCount(bc.col); d > pickDistinct {
+					pick, pickDistinct = i, d
+				}
+			}
+			ai.rel.EnsureIndex(probeable[pick].col)
+			bc := probeable[pick]
+			step.probeCol, step.probeSlot, step.probeConst = bc.col, bc.slot, bc.cnst
+			for i, bc := range probeable {
+				if i != pick {
+					step.checks = append(step.checks, colCheck{bc.col, bc.slot, bc.cnst})
+				}
+			}
+		}
+		p.steps = append(p.steps, step)
+	}
+
+	p.head = make([]headSrc, len(q.Head))
+	for i, t := range q.Head {
+		if !t.IsVar {
+			p.head[i] = headSrc{slot: -1, cnst: t.Const}
+			continue
+		}
+		s, ok := slots[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("eval: head variable %s unbound (unsafe query %s)", t.Name, q.Name)
+		}
+		p.head[i] = headSrc{slot: s}
+	}
+	p.initPool()
+	return p, nil
+}
+
+// Query returns the query the plan was compiled from.
+func (p *Plan) Query() *cq.Query { return p.query }
+
+// Slots returns the number of register slots the plan uses.
+func (p *Plan) Slots() int { return p.nslots }
+
+func (p *Plan) initPool() {
+	p.pool.New = func() any {
+		return &runState{
+			regs:    make([]value.Value, p.nslots),
+			matched: make([]storage.Tuple, len(p.steps)),
+			cand:    make([][]storage.Tuple, len(p.steps)),
+			headBuf: make(storage.Tuple, len(p.query.Head)),
+		}
+	}
+}
+
+func (p *Plan) getState() *runState  { return p.pool.Get().(*runState) }
+func (p *Plan) putState(s *runState) { p.pool.Put(s) }
+
+// forEach enumerates every satisfying assignment, calling fn with the run
+// state (register file filled, matched tuples parallel to steps). When
+// leading is non-nil it supplies step 0's candidate tuples — the parallel
+// evaluator injects one contiguous chunk per worker. fn returning false
+// stops the walk; forEach reports whether it ran to completion.
+func (p *Plan) forEach(st *runState, leading []storage.Tuple, fn func(*runState) bool) bool {
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(p.steps) {
+			return fn(st)
+		}
+		s := &p.steps[i]
+		var cands []storage.Tuple
+		if i == 0 && leading != nil {
+			cands = leading
+		} else {
+			buf := st.cand[i][:0]
+			if s.probeCol >= 0 {
+				v := s.probeConst
+				if s.probeSlot >= 0 {
+					v = st.regs[s.probeSlot]
+				}
+				buf = s.rel.AppendLookup(buf, s.probeCol, v)
+			} else {
+				buf = s.rel.AppendTuples(buf)
+			}
+			st.cand[i] = buf
+			cands = buf
+		}
+		for _, t := range cands {
+			for _, b := range s.binds {
+				st.regs[b.slot] = t[b.col]
+			}
+			ok := true
+			for _, c := range s.checks {
+				want := c.cnst
+				if c.slot >= 0 {
+					want = st.regs[c.slot]
+				}
+				if t[c.col] != want {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			st.matched[i] = t
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// fillHead projects the register file onto the head buffer.
+func (p *Plan) fillHead(st *runState) {
+	for i, h := range p.head {
+		if h.slot >= 0 {
+			st.headBuf[i] = st.regs[h.slot]
+		} else {
+			st.headBuf[i] = h.cnst
+		}
+	}
+}
+
+// leadingCandidates computes step 0's candidate tuples (the partition axis
+// of parallel runs).
+func (p *Plan) leadingCandidates() []storage.Tuple {
+	s := &p.steps[0]
+	if s.probeCol >= 0 {
+		return s.rel.AppendLookup(nil, s.probeCol, s.probeConst)
+	}
+	return s.rel.AppendTuples(nil)
+}
+
+// Eval runs the plan with set semantics, returning the distinct answer
+// tuples in deterministic (sorted) order.
+func (p *Plan) Eval() []storage.Tuple {
+	if p.constant {
+		return []storage.Tuple{p.constRow.Clone()}
+	}
+	st := p.getState()
+	defer p.putState(st)
+	var ix TupleIndex
+	p.forEach(st, nil, func(st *runState) bool {
+		p.fillHead(st)
+		ix.Add(st.headBuf)
+		return true
+	})
+	out := ix.tuples
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// CountBindings returns the number of satisfying assignments (derivations)
+// without materializing bindings — the no-allocation path for read-only
+// consumers.
+func (p *Plan) CountBindings() int {
+	if p.constant {
+		return 1
+	}
+	n := 0
+	st := p.getState()
+	defer p.putState(st)
+	p.forEach(st, nil, func(*runState) bool { n++; return true })
+	return n
+}
+
+// HasBinding reports whether at least one satisfying assignment exists,
+// stopping at the first.
+func (p *Plan) HasBinding() bool {
+	if p.constant {
+		return true
+	}
+	found := false
+	st := p.getState()
+	defer p.putState(st)
+	p.forEach(st, nil, func(*runState) bool { found = true; return false })
+	return found
+}
+
+// ForEachBinding invokes fn with every satisfying assignment of the
+// query's body variables. Each callback receives a freshly built Binding
+// the consumer may retain; consumers that only count or test existence
+// should use CountBindings/HasBinding, which allocate nothing per
+// assignment.
+func (p *Plan) ForEachBinding(fn func(Binding) bool) {
+	if p.constant {
+		fn(Binding{})
+		return
+	}
+	st := p.getState()
+	defer p.putState(st)
+	p.forEach(st, nil, func(st *runState) bool {
+		b := make(Binding, len(st.regs))
+		for s, name := range p.slotNames {
+			b[name] = st.regs[s]
+		}
+		return fn(b)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Annotated runs. Go methods cannot be generic, so the semiring-annotated
+// entry points are package functions over a *Plan.
+
+// annotAcc accumulates per-output-tuple annotations in first-occurrence
+// order — the invariant both the sequential and the parallel evaluator
+// preserve so their results are identical. Tuples are deduplicated by the
+// open-addressed TupleIndex; anns[i] annotates ix.Tuple(i).
+type annotAcc[T any] struct {
+	ix   TupleIndex
+	anns []T
+}
+
+// runAnnotatedLeading enumerates every satisfying assignment whose leading
+// tuple ranges over leading (nil means all of step 0's candidates), summing
+// the per-binding products into a fresh accumulator. It is the single
+// evaluation core shared by the sequential and parallel annotated runs.
+func runAnnotatedLeading[T any](p *Plan, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T, leading []storage.Tuple) *annotAcc[T] {
+	out := &annotAcc[T]{}
+	st := p.getState()
+	defer p.putState(st)
+	p.forEach(st, leading, func(st *runState) bool {
+		prod := sr.One()
+		for j := range p.steps {
+			prod = sr.Times(prod, annot(p.steps[j].pred, st.matched[j]))
+		}
+		p.fillHead(st)
+		id, added := out.ix.Add(st.headBuf)
+		if added {
+			out.anns = append(out.anns, prod)
+		} else {
+			out.anns[id] = sr.Plus(out.anns[id], prod)
+		}
+		return true
+	})
+	return out
+}
+
+// finishAnnotated converts an accumulator into the sorted output slice.
+func finishAnnotated[T any](acc *annotAcc[T]) []Annotated[T] {
+	out := make([]Annotated[T], len(acc.ix.tuples))
+	for i, t := range acc.ix.tuples {
+		out[i] = Annotated[T]{Tuple: t, Annotation: acc.anns[i]}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out
+}
+
+// RunAnnotated evaluates the plan under the semiring sr: per output tuple,
+// Σ over bindings of Π over body atoms of annot(predicate, matched tuple).
+// Output order is deterministic.
+func RunAnnotated[T any](p *Plan, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T) []Annotated[T] {
+	return RunAnnotatedParallel(p, sr, annot, 1)
+}
+
+// constantRun handles the body-less constant-query case.
+func constantRun[T any](p *Plan, sr semiring.Semiring[T]) []Annotated[T] {
+	return []Annotated[T]{{Tuple: p.constRow.Clone(), Annotation: sr.One()}}
+}
+
+// ---------------------------------------------------------------------------
+// Open-addressed tuple hash table.
+
+// TupleIndex deduplicates tuples and assigns each distinct tuple a dense
+// id in insertion order. It replaces map[string] keyed on Tuple.Key():
+// tuples hash directly through value.Hash, so deduplication builds no key
+// strings — neither in the inner join loop here nor in the citation
+// generator's per-branch and result-union bookkeeping. Linear probing over
+// a power-of-two table; the zero value is ready to use. Not safe for
+// concurrent mutation.
+type TupleIndex struct {
+	table  []int32 // id + 1; 0 = empty
+	mask   uint64
+	hashes []uint64 // hash per id, for cheap rejection and rehashing
+	tuples []storage.Tuple
+}
+
+func hashTuple(t storage.Tuple) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range t {
+		h ^= v.Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Add returns the id of t, inserting a clone if absent; added reports
+// whether the tuple was new. The argument may be a reused buffer — the
+// table never retains it.
+func (ix *TupleIndex) Add(t storage.Tuple) (id int, added bool) {
+	return ix.insert(t, true)
+}
+
+// AddOwned is Add for tuples the caller owns (already cloned, never
+// mutated); the table retains the argument instead of copying it.
+func (ix *TupleIndex) AddOwned(t storage.Tuple) (id int, added bool) {
+	return ix.insert(t, false)
+}
+
+// Get returns the id of t, or ok=false if the tuple was never added.
+func (ix *TupleIndex) Get(t storage.Tuple) (id int, ok bool) {
+	if ix.table == nil {
+		return 0, false
+	}
+	h := hashTuple(t)
+	i := h & ix.mask
+	for {
+		e := ix.table[i]
+		if e == 0 {
+			return 0, false
+		}
+		j := int(e - 1)
+		if ix.hashes[j] == h && ix.tuples[j].Equal(t) {
+			return j, true
+		}
+		i = (i + 1) & ix.mask
+	}
+}
+
+// Len returns the number of distinct tuples added.
+func (ix *TupleIndex) Len() int { return len(ix.tuples) }
+
+// Tuple returns the tuple with the given dense id.
+func (ix *TupleIndex) Tuple(id int) storage.Tuple { return ix.tuples[id] }
+
+// Tuples returns the distinct tuples in insertion order. The slice is the
+// index's backing storage; callers must not mutate it while the index is
+// still in use.
+func (ix *TupleIndex) Tuples() []storage.Tuple { return ix.tuples }
+
+func (ix *TupleIndex) insert(t storage.Tuple, clone bool) (int, bool) {
+	if ix.table == nil {
+		ix.table = make([]int32, 64)
+		ix.mask = 63
+	}
+	h := hashTuple(t)
+	i := h & ix.mask
+	for {
+		e := ix.table[i]
+		if e == 0 {
+			id := len(ix.tuples)
+			if clone {
+				t = t.Clone()
+			}
+			ix.tuples = append(ix.tuples, t)
+			ix.hashes = append(ix.hashes, h)
+			ix.table[i] = int32(id + 1)
+			if len(ix.tuples)*4 >= len(ix.table)*3 {
+				ix.grow()
+			}
+			return id, true
+		}
+		j := int(e - 1)
+		if ix.hashes[j] == h && ix.tuples[j].Equal(t) {
+			return j, false
+		}
+		i = (i + 1) & ix.mask
+	}
+}
+
+func (ix *TupleIndex) grow() {
+	n := len(ix.table) * 2
+	ix.table = make([]int32, n)
+	ix.mask = uint64(n - 1)
+	for j, h := range ix.hashes {
+		i := h & ix.mask
+		for ix.table[i] != 0 {
+			i = (i + 1) & ix.mask
+		}
+		ix.table[i] = int32(j + 1)
+	}
+}

@@ -327,10 +327,5 @@ func derivable(db *storage.Database, view *cq.Query, row storage.Tuple) (bool, e
 	}
 	bound := view.Substitute(sub)
 	bound.Params = nil
-	found := false
-	err := eval.ForEachBinding(db, bound, func(eval.Binding) bool {
-		found = true
-		return false
-	})
-	return found, err
+	return eval.HasBinding(db, bound)
 }

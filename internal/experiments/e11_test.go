@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestE11ShapeAndReuseWins checks the table shape and the experiment's
+// core claim on the smallest fixture: a warm plan never allocates more
+// than compile-per-call evaluation.
+func TestE11ShapeAndReuseWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps database sizes")
+	}
+	tbl, err := E11PlanReuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(e11Sizes) {
+		t.Fatalf("rows %d, want %d", len(tbl.Rows), len(e11Sizes))
+	}
+	for i, row := range tbl.Rows {
+		if row[0] != strconv.Itoa(e11Sizes[i]) {
+			t.Errorf("row %d size %s, want %d", i, row[0], e11Sizes[i])
+		}
+		compileAllocs, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatalf("row %d compile allocs %q: %v", i, row[4], err)
+		}
+		warmAllocs, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			t.Fatalf("row %d warm allocs %q: %v", i, row[5], err)
+		}
+		if warmAllocs > compileAllocs {
+			t.Errorf("row %d: warm plan allocates more (%v) than compile-per-call (%v)",
+				i, warmAllocs, compileAllocs)
+		}
+	}
+}

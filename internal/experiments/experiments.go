@@ -89,6 +89,7 @@ func Suite() []Experiment {
 		{"E8", E8AnnotationOverhead},
 		{"E9", E9ViewAdvisor},
 		{"E10", E10ConcurrentCite},
+		{"E11", E11PlanReuse},
 	}
 }
 

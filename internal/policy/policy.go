@@ -186,6 +186,15 @@ func (p Policy) Eval(e citeexpr.Expr, resolve Resolver) (format.Record, error) {
 	}
 }
 
+// EvalAgg aggregates already-resolved child records under the Agg
+// function. It is Eval of an Agg node whose children the caller has
+// evaluated before — the citation generator resolves every tuple's
+// selected expression for the per-tuple records anyway, so the
+// result-level record reuses them instead of re-resolving each atom.
+func (p Policy) EvalAgg(records []format.Record) format.Record {
+	return combine(p.Agg, records)
+}
+
 func (p Policy) evalAll(children []citeexpr.Expr, resolve Resolver) ([]format.Record, error) {
 	records := make([]format.Record, 0, len(children))
 	for _, c := range children {

@@ -107,6 +107,15 @@ type Relation struct {
 	tuples  []Tuple
 	present map[string]int // tuple key -> index into tuples (or -1 if deleted)
 	indexes map[int]map[value.Value][]int
+
+	// Statistics cache for the query planner. distinct memoizes per-column
+	// distinct counts; it is dropped on every content mutation (Insert,
+	// Delete) and therefore permanent on frozen relations. statsMu is
+	// separate from mu so frozen relations — whose readers skip mu entirely
+	// — can still fill the cache; it is never held while acquiring mu.
+	statsMu  sync.Mutex
+	statsGen uint64
+	distinct map[int]int
 }
 
 // NewRelation creates an empty relation instance for the given schema.
@@ -228,7 +237,18 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	for col, ix := range r.indexes {
 		ix[t[col]] = append(ix[t[col]], idx)
 	}
+	r.bumpStats()
 	return true, nil
+}
+
+// bumpStats drops the statistics cache after a content mutation. Called
+// with mu held; statsMu is acquired on its own (no lock cycle: statsMu is
+// never held while acquiring mu).
+func (r *Relation) bumpStats() {
+	r.statsMu.Lock()
+	r.statsGen++
+	r.distinct = nil
+	r.statsMu.Unlock()
 }
 
 // MustInsert inserts and panics on schema mismatch; duplicate inserts are
@@ -252,6 +272,7 @@ func (r *Relation) Delete(t Tuple) bool {
 	}
 	delete(r.present, k)
 	r.tuples[idx] = nil
+	r.bumpStats()
 	return true
 }
 
@@ -311,6 +332,23 @@ func (r *Relation) buildIndexLocked(col int) {
 	r.indexes[col] = ix
 }
 
+// EnsureIndex builds a hash index on the column if one does not exist yet,
+// reporting whether an index is available afterwards. On frozen snapshots
+// no index can be built (they are immutable), so the report is simply
+// whether the snapshot inherited one; Database.Snapshot pre-builds every
+// column index, so snapshots taken through it always have full support.
+// The query planner calls this for the probe columns it selects.
+func (r *Relation) EnsureIndex(col int) bool {
+	if r.HasIndex(col) {
+		return true
+	}
+	if r.frozen {
+		return false
+	}
+	r.BuildIndex(col)
+	return true
+}
+
 // HasIndex reports whether a hash index exists on the column.
 func (r *Relation) HasIndex(col int) bool {
 	r.rLock()
@@ -341,6 +379,44 @@ func (r *Relation) Lookup(col int, v value.Value) []Tuple {
 		}
 	}
 	return out
+}
+
+// AppendLookup appends the live tuples whose column col equals v to dst and
+// returns the extended slice, using the index if present and scanning
+// otherwise. It is Lookup with a caller-provided buffer: the compiled-plan
+// evaluator reuses one buffer per join depth, so a warm plan probes without
+// allocating. The appended tuples remain valid after the call (tuples are
+// never mutated in place).
+func (r *Relation) AppendLookup(dst []Tuple, col int, v value.Value) []Tuple {
+	r.rLock()
+	defer r.rUnlock()
+	if ix, ok := r.indexes[col]; ok {
+		for _, i := range ix[v] {
+			if t := r.tuples[i]; t != nil {
+				dst = append(dst, t)
+			}
+		}
+		return dst
+	}
+	for _, t := range r.tuples {
+		if t != nil && t[col] == v {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
+// AppendTuples appends every live tuple to dst (insertion order) and
+// returns the extended slice — Tuples with a caller-provided buffer.
+func (r *Relation) AppendTuples(dst []Tuple) []Tuple {
+	r.rLock()
+	defer r.rUnlock()
+	for _, t := range r.tuples {
+		if t != nil {
+			dst = append(dst, t)
+		}
+	}
+	return dst
 }
 
 // Scan invokes fn for every live tuple; fn returning false stops the scan.
@@ -380,8 +456,36 @@ func (r *Relation) SortedTuples() []Tuple {
 }
 
 // DistinctCount returns the number of distinct values in column col. It is
-// used by the schema-level citation-size estimator.
+// used by the schema-level citation-size estimator and by the query
+// planner's selectivity estimates. Results are memoized until the next
+// content mutation; on frozen relations the cache is permanent, so a plan
+// compiled against a snapshot reads statistics at map-lookup cost.
 func (r *Relation) DistinctCount(col int) int {
+	r.statsMu.Lock()
+	if n, ok := r.distinct[col]; ok {
+		r.statsMu.Unlock()
+		return n
+	}
+	gen := r.statsGen
+	r.statsMu.Unlock()
+
+	n := r.distinctCount(col)
+
+	// Store only if no mutation landed while we computed, so a stale count
+	// can never mask newer contents.
+	r.statsMu.Lock()
+	if r.statsGen == gen {
+		if r.distinct == nil {
+			r.distinct = make(map[int]int, r.schema.Arity())
+		}
+		r.distinct[col] = n
+	}
+	r.statsMu.Unlock()
+	return n
+}
+
+// distinctCount computes the distinct count uncached.
+func (r *Relation) distinctCount(col int) int {
 	r.rLock()
 	defer r.rUnlock()
 	if ix, ok := r.indexes[col]; ok {

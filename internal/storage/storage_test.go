@@ -322,3 +322,100 @@ func TestSetSemanticsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestAppendLookupAndAppendTuples(t *testing.T) {
+	r := NewRelation(pairSchema(t))
+	r.MustInsert(value.Int(1), value.String("x"))
+	r.MustInsert(value.Int(1), value.String("y"))
+	r.MustInsert(value.Int(2), value.String("z"))
+
+	// Scan path (no index), then indexed path — both append into the
+	// caller's buffer without dropping its existing contents.
+	for _, indexed := range []bool{false, true} {
+		if indexed {
+			r.BuildIndex(0)
+		}
+		buf := make([]Tuple, 0, 8)
+		buf = r.AppendLookup(buf, 0, value.Int(1))
+		if len(buf) != 2 {
+			t.Fatalf("indexed=%v: AppendLookup found %d tuples, want 2", indexed, len(buf))
+		}
+		buf = r.AppendLookup(buf[:0], 0, value.Int(99))
+		if len(buf) != 0 {
+			t.Fatalf("indexed=%v: AppendLookup on absent key found %d", indexed, len(buf))
+		}
+	}
+	all := r.AppendTuples(nil)
+	if len(all) != 3 {
+		t.Fatalf("AppendTuples found %d tuples, want 3", len(all))
+	}
+	// Deleted tuples are skipped on both paths.
+	r.Delete(tup(1, "x"))
+	if got := r.AppendLookup(nil, 0, value.Int(1)); len(got) != 1 {
+		t.Fatalf("AppendLookup after delete: %d tuples, want 1", len(got))
+	}
+	if got := r.AppendTuples(nil); len(got) != 2 {
+		t.Fatalf("AppendTuples after delete: %d tuples, want 2", len(got))
+	}
+}
+
+func TestEnsureIndex(t *testing.T) {
+	r := NewRelation(pairSchema(t))
+	r.MustInsert(value.Int(1), value.String("x"))
+	if r.HasIndex(1) {
+		t.Fatal("index exists before EnsureIndex")
+	}
+	if !r.EnsureIndex(1) {
+		t.Fatal("EnsureIndex failed on a mutable relation")
+	}
+	if !r.HasIndex(1) {
+		t.Fatal("EnsureIndex did not build the index")
+	}
+	// On a frozen snapshot EnsureIndex cannot build, only report.
+	bare := NewRelation(pairSchema(t))
+	bare.MustInsert(value.Int(2), value.String("y"))
+	snap := bare.Snapshot()
+	if snap.EnsureIndex(0) {
+		t.Error("EnsureIndex built an index on a frozen snapshot")
+	}
+	if !snap.Frozen() {
+		t.Error("snapshot not frozen")
+	}
+}
+
+func TestDistinctCountCacheInvalidation(t *testing.T) {
+	r := NewRelation(pairSchema(t))
+	r.MustInsert(value.Int(1), value.String("x"))
+	r.MustInsert(value.Int(2), value.String("x"))
+	if n := r.DistinctCount(0); n != 2 {
+		t.Fatalf("DistinctCount(0) = %d, want 2", n)
+	}
+	if n := r.DistinctCount(1); n != 1 {
+		t.Fatalf("DistinctCount(1) = %d, want 1", n)
+	}
+	// Mutations must invalidate the memoized counts.
+	r.MustInsert(value.Int(3), value.String("y"))
+	if n := r.DistinctCount(0); n != 3 {
+		t.Fatalf("DistinctCount(0) after insert = %d, want 3", n)
+	}
+	r.Delete(tup(3, "y"))
+	if n := r.DistinctCount(1); n != 1 {
+		t.Fatalf("DistinctCount(1) after delete = %d, want 1", n)
+	}
+	// Frozen snapshots answer from their own permanent cache.
+	snap := r.Snapshot()
+	if n := snap.DistinctCount(0); n != 2 {
+		t.Fatalf("snapshot DistinctCount(0) = %d, want 2", n)
+	}
+	if n := snap.DistinctCount(0); n != 2 {
+		t.Fatalf("snapshot DistinctCount(0) cached = %d, want 2", n)
+	}
+	// The source keeps mutating without disturbing the snapshot's stats.
+	r.MustInsert(value.Int(4), value.String("z"))
+	if n := snap.DistinctCount(0); n != 2 {
+		t.Fatalf("snapshot DistinctCount(0) after source insert = %d, want 2", n)
+	}
+	if n := r.DistinctCount(0); n != 3 {
+		t.Fatalf("source DistinctCount(0) = %d, want 3", n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/citestore"
 	"repro/internal/core"
 	"repro/internal/cq"
+	"repro/internal/eval"
 	"repro/internal/fixity"
 	"repro/internal/format"
 	"repro/internal/policy"
@@ -24,13 +25,57 @@ import (
 // CiteQuery and the batched CiteAll/CiteEach run in parallel against
 // shared singleflight caches, while Commit serializes against in-flight
 // citations and atomically invalidates the caches. System.CiteAll cites a
-// whole batch of queries with bounded parallelism (System.SetParallelism
-// tunes the worker pools; 1 forces sequential evaluation); CiteEach is the
-// same batch with per-query errors. System.Version is the monotonic epoch
-// external result caches key on — it advances with every Commit,
-// DefineView and SetPolicy. See DESIGN.md §3 for the locking and
-// invalidation rules.
+// whole batch of queries with bounded parallelism; CiteEach is the same
+// batch with per-query errors.
+//
+// The context-first request API is the CiteContext family
+// (CiteContext/CiteQueryContext/CiteAllContext/CiteEachContext): each
+// call takes a context.Context — cancellation propagates cooperatively
+// down to the plan enumeration and returns ctx.Err() promptly — plus
+// per-call CiteOptions. Precedence is per-call over default: AtVersion,
+// WithPolicy, WithRewriteMethod, WithParallelism and WithoutFixityPin
+// override, for one call only, the system-wide defaults configured by the
+// deprecated SetPolicy/SetParallelism setters (which remain as
+// defaults-setters; calls without options behave exactly as before).
+//
+// System.Version is the monotonic epoch external result caches key on —
+// it advances with every Commit, DefineView and SetPolicy (all of which
+// can change what a default-path citation contains) and deliberately NOT
+// with SetParallelism (scheduling only, results identical). AtVersion
+// results are keyed by their version instead: they are immutable, never
+// invalidated, and a concurrent Commit neither blocks nor races them. See
+// DESIGN.md §3 for the locking and invalidation rules and §7 for the
+// request-option and versioned-read design.
 type System = core.System
+
+// CiteOption is a per-call request parameter for the CiteContext family;
+// the options below construct them.
+type CiteOption = core.CiteOption
+
+// Per-call request options, overriding the system defaults for one call:
+//
+//   - AtVersion(v) — time-travel: cite against committed snapshot v; the
+//     citation (records and pin alike) is byte-identical to the one that
+//     was generated while v was the head. Unknown versions report
+//     ErrUnknownVersion.
+//   - WithPolicy(p) — combination policy for this call (overrides the
+//     SetPolicy default).
+//   - WithRewriteMethod(m) — rewriting algorithm for this call.
+//   - WithParallelism(n) — worker-pool bound for this call (overrides
+//     the SetParallelism default; 1 forces sequential evaluation).
+//   - WithoutFixityPin() — skip the pin re-execution.
+var (
+	// AtVersion cites against a committed snapshot instead of the head.
+	AtVersion = core.AtVersion
+	// WithPolicy overrides the combination policy per call.
+	WithPolicy = core.WithPolicy
+	// WithRewriteMethod overrides the rewriting algorithm per call.
+	WithRewriteMethod = core.WithRewriteMethod
+	// WithParallelism overrides the worker-pool bound per call.
+	WithParallelism = core.WithParallelism
+	// WithoutFixityPin skips the fixity pin per call.
+	WithoutFixityPin = core.WithoutFixityPin
+)
 
 // CitationSpec pairs a citation query with its field mapping when defining
 // a view through System.DefineView.
@@ -127,9 +172,22 @@ type (
 	TupleCitation = citation.TupleCitation
 )
 
-// ErrNoRewriting is returned when no rewriting over the registered views
-// exists and no citation can be constructed.
-var ErrNoRewriting = citation.ErrNoRewriting
+// Typed sentinel errors, distinguishable with errors.Is / errors.As. The
+// serving layer maps them onto HTTP statuses (400 / 404 / 422) instead of
+// answering blanket server errors.
+var (
+	// ErrNoRewriting is returned when no rewriting over the registered
+	// views exists and no citation can be constructed.
+	ErrNoRewriting = citation.ErrNoRewriting
+	// ErrBadQuery wraps every query parse failure.
+	ErrBadQuery = cq.ErrBadQuery
+	// ErrUnknownVersion is returned when AtVersion names a version that
+	// was never committed.
+	ErrUnknownVersion = fixity.ErrUnknownVersion
+	// ErrUnknownRelation is returned when a query references a relation
+	// the database does not define.
+	ErrUnknownRelation = eval.ErrUnknownRelation
+)
 
 // Record is a structured citation record; NewRecord builds one from
 // field/value pairs.

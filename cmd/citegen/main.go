@@ -5,7 +5,13 @@
 //
 //	citegen -spec db.dcs -query "Q(FName) :- Family(FID, FName, Desc)" \
 //	        [-format text|bibtex|ris|xml|json] [-policy minsize|maxcoverage|all] \
-//	        [-partial] [-pruned] [-explain] [-json]
+//	        [-partial] [-pruned] [-explain] [-json] [-at N]
+//
+// -at N cites against committed version N instead of the head — the
+// loaded state commits as version 1, so -at is useful with spec files
+// that script further commits, and it exercises exactly the
+// System.CiteContext(…, AtVersion(N)) path a server runs for
+// POST /cite?version=N.
 //
 // -json emits the full machine-readable envelope (record, text, fixity
 // pin) that cmd/citeserved answers on POST /cite — the same citation
@@ -14,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +44,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print rewritings and formal citation expressions")
 	bibKey := flag.String("key", "datacitation", "BibTeX citation key")
 	asJSON := flag.Bool("json", false, "emit the citeserved wire envelope (record + text + pin) as JSON")
+	atVersion := flag.Int("at", 0, "cite against committed version N instead of the head (0 = head)")
 	flag.Parse()
 
 	if *specPath == "" || *querySrc == "" {
@@ -63,12 +71,18 @@ func main() {
 	default:
 		log.Fatalf("unknown policy %q", *polName)
 	}
-	sys.SetPolicy(p)
 	sys.Generator().AllowPartial = *partial
 	sys.Generator().CostPruned = *pruned
 	sys.Commit("citegen load")
 
-	cite, err := sys.Cite(*querySrc)
+	// The policy travels as a per-call option (the context-first request
+	// API) instead of mutating the system default; -at selects the target
+	// version the same way POST /cite?version=N does.
+	opts := []datacitation.CiteOption{datacitation.WithPolicy(p)}
+	if *atVersion > 0 {
+		opts = append(opts, datacitation.AtVersion(datacitation.Version(*atVersion)))
+	}
+	cite, err := sys.CiteContext(context.Background(), *querySrc, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,7 +11,7 @@
 // Usage:
 //
 //	citeserved -spec db.dcs [-addr :8377] [-cache 1024] [-timeout 30s]
-//	           [-max-inflight 0] [-parallelism 0]
+//	           [-compute-timeout 0] [-max-inflight 0] [-parallelism 0]
 //	           [-policy minsize|maxcoverage|all] [-no-commit]
 //
 // Quickstart against the repository's paper fixture:
@@ -19,6 +19,14 @@
 //	citeserved -spec testdata/paper.dcs &
 //	curl -s localhost:8377/healthz
 //	curl -s -X POST localhost:8377/cite \
+//	     -d '{"query": "Q(FName) :- Family(FID, FName, Desc)"}'
+//
+// Time travel: after further commits (POST /commit), any committed
+// version can still be cited — the result is byte-identical to the
+// citation generated while that version was live, answers from a cache
+// that commits never invalidate, and unknown versions answer 404:
+//
+//	curl -s -X POST 'localhost:8377/cite?version=1' \
 //	     -d '{"query": "Q(FName) :- Family(FID, FName, Desc)"}'
 package main
 
@@ -46,6 +54,7 @@ func main() {
 	addr := flag.String("addr", ":8377", "listen address")
 	cacheSize := flag.Int("cache", 0, "result-cache entries (0 = default 1024)")
 	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = default 30s, negative = none)")
+	computeTimeout := flag.Duration("compute-timeout", 0, "detached cache-fill computation deadline (0 = 4×timeout, negative = none)")
 	maxInFlight := flag.Int("max-inflight", 0, "admitted concurrent /cite requests (0 = 4×GOMAXPROCS, negative = unlimited)")
 	parallelism := flag.Int("parallelism", 0, "engine worker-pool bound (0 = GOMAXPROCS)")
 	polName := flag.String("policy", "minsize", "+R policy: minsize, maxcoverage, all")
@@ -89,6 +98,7 @@ func main() {
 	srv := server.New(sys, server.Options{
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
+		ComputeTimeout: *computeTimeout,
 		MaxInFlight:    *maxInFlight,
 	})
 

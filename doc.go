@@ -29,6 +29,14 @@
 //	cite, err := sys.Cite("Q(FName) :- Family(FID, FName, Desc), FamilyIntro(FID, Text)")
 //	fmt.Println(cite.Text())
 //
+// The context-first form of the same request takes per-call options —
+// AtVersion cites any committed snapshot (time travel, byte-identical to
+// the citation generated when that version was live), WithPolicy /
+// WithParallelism override the system defaults for one call, and
+// cancellation propagates down to the join enumeration:
+//
+//	cite, err := sys.CiteContext(ctx, query, datacitation.AtVersion(1))
+//
 // To serve citations over HTTP — with a version-keyed coalescing result
 // cache, admission control and metrics — wrap the system in NewServer
 // (or run cmd/citeserved against a spec file):

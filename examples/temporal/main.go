@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -93,4 +94,30 @@ func main() {
 	refs := store.Search(datacitation.FieldAuthor, "Bob (2026 board)")
 	fmt.Printf("citations crediting Bob: %d (%v)\n", len(refs), refs)
 	fmt.Println(store.Stats())
+
+	// Time travel: the head keeps evolving, but AtVersion re-cites any
+	// committed state. The pin of the versioned citation is byte-identical
+	// to the one generated while that version was the head — the paper's
+	// fixity principle, now available for every version at once.
+	const allEntries = "Q4(EID, Name) :- Entry(EID, At, Name)"
+	asOfV1, err := sys.Cite(allEntries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ins("Entry", datacitation.Int(4), datacitation.Time(r2), datacitation.String("Delta receptor"))
+	sys.Commit("delta receptor added")
+
+	timeTravel, err := sys.CiteContext(context.Background(), allEntries, datacitation.AtVersion(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	head, err := sys.Cite(allEntries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== time travel ==\n")
+	fmt.Printf("   pin at v1 (then): %s\n", asOfV1.Pin)
+	fmt.Printf("   pin at v1 (now):  %s\n", timeTravel.Pin)
+	fmt.Printf("   pin at head:      %s\n", head.Pin)
+	fmt.Printf("   v1 reproducible: %v\n", asOfV1.Pin.Digest == timeTravel.Pin.Digest)
 }

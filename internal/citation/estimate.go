@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/policy"
 	"repro/internal/rewrite"
+	"repro/internal/storage"
 )
 
 // EstimateRewritingSize estimates, at the schema level and without
@@ -17,6 +18,14 @@ import (
 // size of Family, whereas the estimated size … using Q2 would be 1" — and
 // the §3 suggestion to "do some of the reasoning at the schema level".
 func (g *Generator) EstimateRewritingSize(rw *rewrite.Rewriting) (int, error) {
+	return g.estimateRewritingSize(g.db, rw)
+}
+
+// estimateRewritingSize is EstimateRewritingSize against an explicit
+// target database (a committed snapshot for time-travel cites; frozen
+// relations keep their statistics permanently, so repeated estimates are
+// map lookups).
+func (g *Generator) estimateRewritingSize(db *storage.Database, rw *rewrite.Rewriting) (int, error) {
 	total := 0
 	for _, va := range rw.ViewAtoms {
 		v := g.reg.View(va.ViewName)
@@ -29,7 +38,7 @@ func (g *Generator) EstimateRewritingSize(rw *rewrite.Rewriting) (int, error) {
 		}
 		est := 1
 		for _, p := range v.Query.Params {
-			d, err := g.estimateDistinct(v, p)
+			d, err := g.estimateDistinct(db, v, p)
 			if err != nil {
 				return 0, err
 			}
@@ -49,10 +58,10 @@ func (g *Generator) EstimateRewritingSize(rw *rewrite.Rewriting) (int, error) {
 
 // estimateDistinct estimates the number of distinct values of view
 // parameter p from the statistics of a base column p occupies in the
-// view's body.
-func (g *Generator) estimateDistinct(v *View, p string) (int, error) {
+// view's body, read from db.
+func (g *Generator) estimateDistinct(db *storage.Database, v *View, p string) (int, error) {
 	for _, a := range v.Query.Body {
-		rel := g.db.Relation(a.Predicate)
+		rel := db.Relation(a.Predicate)
 		if rel == nil {
 			continue
 		}
@@ -66,20 +75,21 @@ func (g *Generator) estimateDistinct(v *View, p string) (int, error) {
 }
 
 // selectByEstimate picks the rewriting the +R policy pol would choose,
-// using schema-level size estimates instead of evaluated citations. MinSize
-// picks the smallest estimate, MaxCoverage the largest; ties break toward
-// the earlier rewriting in the engine's deterministic order.
-func (g *Generator) selectByEstimate(rws []*rewrite.Rewriting, pol policy.Policy) (*rewrite.Rewriting, error) {
+// using schema-level size estimates (over db) instead of evaluated
+// citations. MinSize picks the smallest estimate, MaxCoverage the
+// largest; ties break toward the earlier rewriting in the engine's
+// deterministic order.
+func (g *Generator) selectByEstimate(db *storage.Database, rws []*rewrite.Rewriting, pol policy.Policy) (*rewrite.Rewriting, error) {
 	if len(rws) == 0 {
 		return nil, ErrNoRewriting
 	}
 	best := rws[0]
-	bestEst, err := g.EstimateRewritingSize(best)
+	bestEst, err := g.estimateRewritingSize(db, best)
 	if err != nil {
 		return nil, err
 	}
 	for _, rw := range rws[1:] {
-		est, err := g.EstimateRewritingSize(rw)
+		est, err := g.estimateRewritingSize(db, rw)
 		if err != nil {
 			return nil, err
 		}

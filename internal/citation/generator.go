@@ -1,6 +1,7 @@
 package citation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -59,19 +60,76 @@ type Generator struct {
 	// join). 0 means GOMAXPROCS; 1 forces sequential evaluation.
 	Parallelism int
 
+	// The three result caches are keyed by (version, name/signature):
+	// version 0 is the mutable head generation — invalidated as one unit
+	// by InvalidateCache — while version v ≥ 1 namespaces entries computed
+	// against the immutable committed snapshot v, which can never go stale
+	// and are therefore retained across invalidations. Historical cites
+	// thus coexist with head cites without invalidation races (DESIGN.md
+	// §3, §7). paramPos is keyed by view name alone: it derives from view
+	// definitions, not data, so every version shares it.
 	viewMu    sync.RWMutex
-	viewCache map[string]*viewEntry
+	viewCache map[genKey]*viewEntry
 	paramPos  map[string][]int
 
 	atomMu    sync.Mutex
-	atomCache map[string]*atomEntry
+	atomCache map[genKey]*atomEntry
 
 	// planCache memoizes compiled query plans per rewriting signature. A
 	// plan captures the relation instances and statistics it was compiled
-	// against, so the cache lives exactly one cache generation: it is
-	// dropped together with the view and atom caches (DESIGN.md §3, §6).
+	// against, so head-generation entries live exactly one cache
+	// generation: they are dropped together with the view and atom caches
+	// (DESIGN.md §3, §6). Snapshot-keyed plans reference frozen relations
+	// and live until their version namespace is evicted.
 	planMu    sync.Mutex
-	planCache map[string]*eval.Plan
+	planCache map[genKey]*eval.Plan
+
+	// verMu guards verUse, the recency order (least-recently-used first)
+	// of the versioned cache namespaces currently retained. Entries never
+	// go stale — snapshots are immutable — but each namespace holds
+	// materialized views, so retention is bounded: citing more than
+	// maxVersionGenerations distinct versions evicts the coldest
+	// namespace wholesale. This caps memory at O(maxVersionGenerations ×
+	// views) no matter how many versions clients sweep through.
+	verMu  sync.Mutex
+	verUse []int
+}
+
+// maxVersionGenerations bounds how many committed versions keep warm
+// caches at once. Serving workloads cite the head plus a handful of
+// recent (or landmark) versions; anything colder re-materializes on
+// demand.
+const maxVersionGenerations = 8
+
+// genKey namespaces one cache entry: ver is the committed version the
+// entry was computed against (0 = the mutable head generation), name the
+// view name, atom key or plan signature.
+type genKey struct {
+	ver  int
+	name string
+}
+
+// Request carries the per-call parameters of one citation generation.
+// The zero value cites against the generator's bound head database with
+// the generator's default policy, rewriting method and parallelism — so
+// Cite(q) ≡ CiteContext(ctx, q, Request{}).
+type Request struct {
+	// DB is the target database. nil means the generator's bound head;
+	// otherwise it must be the immutable snapshot identified by Version.
+	DB *storage.Database
+	// Version namespaces the generator's caches for this request: 0 keys
+	// the mutable head generation, v ≥ 1 keys entries computed against
+	// committed snapshot v (never invalidated — snapshots cannot change).
+	Version int
+	// Policy, when non-nil, overrides the generator's default combination
+	// policy for this call only.
+	Policy *policy.Policy
+	// Method, when non-nil, overrides the rewriting algorithm for this
+	// call only.
+	Method *rewrite.Method
+	// Parallelism, when positive, overrides the generator's worker bound
+	// for this call only (1 forces sequential evaluation).
+	Parallelism int
 }
 
 // viewEntry is one singleflight materialization slot: the goroutine that
@@ -99,9 +157,9 @@ func NewGenerator(reg *Registry, db *storage.Database) *Generator {
 		reg:       reg,
 		db:        db,
 		pol:       policy.Default(),
-		viewCache: make(map[string]*viewEntry),
-		atomCache: make(map[string]*atomEntry),
-		planCache: make(map[string]*eval.Plan),
+		viewCache: make(map[genKey]*viewEntry),
+		atomCache: make(map[genKey]*atomEntry),
+		planCache: make(map[genKey]*eval.Plan),
 		paramPos:  make(map[string][]int),
 	}
 }
@@ -134,24 +192,40 @@ func (g *Generator) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// InvalidateCache drops materialized views, resolved citation records and
-// compiled query plans; call after modifying the database (core.System
-// does this on every Commit). In-flight materializations finish against
-// the orphaned entries and are re-done on next demand. paramPos is
-// deliberately retained: it is derived from view definitions, not data,
-// and an in-flight Cite's annotator may still be reading it. The evolution
-// package refreshes the caches incrementally instead.
+// InvalidateCache drops the head generation's materialized views,
+// resolved citation records and compiled query plans; call after
+// modifying the database (core.System does this on every Commit).
+// In-flight materializations finish against the orphaned entries and are
+// re-done on next demand. Entries keyed to committed versions (ver ≥ 1)
+// are retained: they were computed against immutable snapshots and can
+// never go stale, so time-travel cites survive every invalidation.
+// paramPos is deliberately retained too: it is derived from view
+// definitions, not data, and an in-flight Cite's annotator may still be
+// reading it. The evolution package refreshes the caches incrementally
+// instead.
 func (g *Generator) InvalidateCache() {
 	g.viewMu.Lock()
-	g.viewCache = make(map[string]*viewEntry)
+	for k := range g.viewCache {
+		if k.ver == 0 {
+			delete(g.viewCache, k)
+		}
+	}
 	g.viewMu.Unlock()
 
 	g.atomMu.Lock()
-	g.atomCache = make(map[string]*atomEntry)
+	for k := range g.atomCache {
+		if k.ver == 0 {
+			delete(g.atomCache, k)
+		}
+	}
 	g.atomMu.Unlock()
 
 	g.planMu.Lock()
-	g.planCache = make(map[string]*eval.Plan)
+	for k := range g.planCache {
+		if k.ver == 0 {
+			delete(g.planCache, k)
+		}
+	}
 	g.planMu.Unlock()
 }
 
@@ -211,14 +285,46 @@ func (b *branch) expr(t storage.Tuple) (citeexpr.Expr, bool) {
 // pruning, its join is partitioned instead. Both strategies produce
 // expressions identical to sequential evaluation.
 func (g *Generator) Cite(q *cq.Query) (*Result, error) {
+	return g.CiteContext(context.Background(), q, Request{})
+}
+
+// CiteContext is Cite with per-call parameters and cooperative
+// cancellation: req selects the target database/version and overrides
+// policy, rewriting method and parallelism for this call only, and the
+// evaluation polls ctx — between pipeline stages, per enumeration chunk,
+// and per resolved tuple — so canceling ctx aborts with ctx.Err()
+// promptly instead of finishing the enumeration. Results computed against
+// a committed version are cached under that version's namespace and
+// survive InvalidateCache, so historical cites race neither commits nor
+// each other.
+func (g *Generator) CiteContext(ctx context.Context, q *cq.Query, req Request) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	db := req.DB
+	if db == nil {
+		db = g.db
+	}
 	pol := g.Policy()
+	if req.Policy != nil {
+		pol = *req.Policy
+	}
+	method := g.Method
+	if req.Method != nil {
+		method = *req.Method
+	}
+	workers := req.Parallelism
+	if workers <= 0 {
+		workers = g.workers()
+	}
+	g.touchVersion(req.Version)
 	res := &Result{Query: q}
 
 	rres, err := rewrite.Rewrite(q, g.reg.ViewQueries(), rewrite.Options{
-		Method:        g.Method,
+		Method:        method,
 		MaxRewritings: g.MaxRewritings,
 	})
 	if err != nil {
@@ -228,7 +334,7 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 	res.Stats.CandidatesExamined = rres.CandidatesExamined
 	if len(rewritings) == 0 && g.AllowPartial {
 		pres, err := rewrite.Rewrite(q, g.reg.ViewQueries(), rewrite.Options{
-			Method:        g.Method,
+			Method:        method,
 			MaxRewritings: g.MaxRewritings,
 			AllowPartial:  true,
 		})
@@ -250,15 +356,18 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 
 	evalSet := rewritings
 	if g.CostPruned && pol.AltR != policy.AllBranches {
-		best, err := g.selectByEstimate(rewritings, pol)
+		best, err := g.selectByEstimate(db, rewritings, pol)
 		if err != nil {
 			return nil, err
 		}
 		evalSet = []*rewrite.Rewriting{best}
 		res.Stats.Pruned = true
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	branches, err := g.evalBranches(evalSet)
+	branches, err := g.evalBranches(ctx, evalSet, db, req.Version, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -307,10 +416,13 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 		}
 	}
 
-	resolver := g.resolver(&res.Stats)
+	resolver := g.resolverAt(db, req.Version, &res.Stats)
 	var aggChildren []citeexpr.Expr
 	records := make([]format.Record, 0, len(tuples))
 	for _, tup := range tuples {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var children []citeexpr.Expr
 		for i := range branches {
 			if e, ok := branches[i].expr(tup); ok {
@@ -353,23 +465,27 @@ func (g *Generator) Cite(q *cq.Query) (*Result, error) {
 }
 
 // evalBranches evaluates every rewriting with citation-expression
-// annotations. A single rewriting is partitioned internally
-// (eval.EvalAnnotatedParallel); several rewritings are distributed over a
-// bounded worker pool, one sequential evaluation each. Results are indexed
-// by rewriting, so the outcome is deterministic regardless of scheduling.
-func (g *Generator) evalBranches(evalSet []*rewrite.Rewriting) ([]branch, error) {
-	workers := g.workers()
+// annotations against db, caching per ver. A single rewriting is
+// partitioned internally (eval.RunAnnotatedParallelCtx); several
+// rewritings are distributed over a bounded worker pool, one sequential
+// evaluation each. Results are indexed by rewriting, so the outcome is
+// deterministic regardless of scheduling; canceling ctx aborts every
+// branch with ctx.Err().
+func (g *Generator) evalBranches(ctx context.Context, evalSet []*rewrite.Rewriting, db *storage.Database, ver, workers int) ([]branch, error) {
 	annot := g.annotator()
 	evalOne := func(rw *rewrite.Rewriting, innerWorkers int) (branch, error) {
-		inst, err := g.instanceFor(rw)
+		inst, err := g.instanceFor(rw, db, ver)
 		if err != nil {
 			return branch{}, err
 		}
-		plan, err := g.planFor(inst, rw.AsQuery("rw"))
+		plan, err := g.planFor(ver, inst, rw.AsQuery("rw"))
 		if err != nil {
 			return branch{}, err
 		}
-		annotated := eval.RunAnnotatedParallel[citeexpr.Expr](plan, citeexpr.Semiring{}, annot, innerWorkers)
+		annotated, err := eval.RunAnnotatedParallelCtx[citeexpr.Expr](ctx, plan, citeexpr.Semiring{}, annot, innerWorkers)
+		if err != nil {
+			return branch{}, err
+		}
 		b := branch{annotated: annotated}
 		for _, a := range annotated {
 			b.ix.AddOwned(a.Tuple)
@@ -434,17 +550,19 @@ func (g *Generator) CiteTuple(q *cq.Query, t storage.Tuple) (*TupleCitation, err
 }
 
 // planFor returns the compiled evaluation plan for q over inst, memoized
-// by the query's canonical signature (two rewritings equal up to variable
-// renaming share one plan). A plan captures relation instances and
-// compile-time statistics, so cached plans live exactly one cache
-// generation: InvalidateCache drops them together with the materialized
-// views they reference, which keeps DESIGN.md §3's invalidation rule
-// covering them. A compilation race is benign — the last writer wins and
-// every compiled plan is correct.
-func (g *Generator) planFor(inst eval.Instance, q *cq.Query) (*eval.Plan, error) {
-	sig := q.Signature()
+// by (ver, canonical signature) — two rewritings equal up to variable
+// renaming share one plan, and each committed version keeps its own. A
+// plan captures relation instances and compile-time statistics, so cached
+// head-generation plans (ver 0) live exactly one cache generation:
+// InvalidateCache drops them together with the materialized views they
+// reference, which keeps DESIGN.md §3's invalidation rule covering them.
+// Snapshot-keyed plans reference frozen relations and never go stale. A
+// compilation race is benign — the last writer wins and every compiled
+// plan is correct.
+func (g *Generator) planFor(ver int, inst eval.Instance, q *cq.Query) (*eval.Plan, error) {
+	key := genKey{ver, q.Signature()}
 	g.planMu.Lock()
-	p := g.planCache[sig]
+	p := g.planCache[key]
 	g.planMu.Unlock()
 	if p != nil {
 		return p, nil
@@ -454,26 +572,27 @@ func (g *Generator) planFor(inst eval.Instance, q *cq.Query) (*eval.Plan, error)
 		return nil, err
 	}
 	g.planMu.Lock()
-	g.planCache[sig] = p
+	g.planCache[key] = p
 	g.planMu.Unlock()
 	return p, nil
 }
 
-// instanceFor materializes (with caching) the view instances a rewriting
-// references and combines them with the base database for residual atoms.
-func (g *Generator) instanceFor(rw *rewrite.Rewriting) (eval.Instance, error) {
+// instanceFor materializes (with caching, namespaced by ver) the view
+// instances a rewriting references and combines them with db for residual
+// atoms.
+func (g *Generator) instanceFor(rw *rewrite.Rewriting, db *storage.Database, ver int) (eval.Instance, error) {
 	rels := make(eval.Relations)
 	for _, va := range rw.ViewAtoms {
 		if _, done := rels[va.ViewName]; done {
 			continue
 		}
-		mat, err := g.materialize(va.ViewName)
+		mat, err := g.materializeAt(db, ver, va.ViewName)
 		if err != nil {
 			return nil, err
 		}
 		rels[va.ViewName] = mat
 	}
-	return layeredInstance{views: rels, base: g.db}, nil
+	return layeredInstance{views: rels, base: db}, nil
 }
 
 // layeredInstance resolves view predicates from materialized instances and
@@ -490,28 +609,92 @@ func (l layeredInstance) Relation(name string) *storage.Relation {
 	return l.base.Relation(name)
 }
 
-// materialize evaluates the named view over the database with singleflight
-// caching: under concurrent demand exactly one goroutine performs the
-// evaluation, the rest block until the instance is ready. A failed
-// materialization is not cached, so transient errors are retried on next
-// demand.
+// materialize evaluates the named view over the generator's head database
+// with singleflight caching; see materializeAt.
 func (g *Generator) materialize(viewName string) (*storage.Relation, error) {
+	return g.materializeAt(g.db, 0, viewName)
+}
+
+// touchVersion records a use of the versioned cache namespace ver and,
+// past maxVersionGenerations distinct namespaces, evicts the coldest
+// one's entries from all three caches. In-flight cites of an evicted
+// version keep the entry pointers they already hold (the same orphan
+// semantics as InvalidateCache) and later demand re-materializes.
+func (g *Generator) touchVersion(ver int) {
+	if ver <= 0 {
+		return
+	}
+	evict := -1
+	g.verMu.Lock()
+	for i, v := range g.verUse {
+		if v == ver {
+			g.verUse = append(append(g.verUse[:i:i], g.verUse[i+1:]...), ver)
+			g.verMu.Unlock()
+			return
+		}
+	}
+	g.verUse = append(g.verUse, ver)
+	if len(g.verUse) > maxVersionGenerations {
+		evict = g.verUse[0]
+		g.verUse = append([]int(nil), g.verUse[1:]...)
+	}
+	g.verMu.Unlock()
+	if evict >= 0 {
+		g.evictVersion(evict)
+	}
+}
+
+// evictVersion drops every cache entry of one versioned namespace.
+func (g *Generator) evictVersion(ver int) {
 	g.viewMu.Lock()
-	if e, ok := g.viewCache[viewName]; ok {
+	for k := range g.viewCache {
+		if k.ver == ver {
+			delete(g.viewCache, k)
+		}
+	}
+	g.viewMu.Unlock()
+
+	g.atomMu.Lock()
+	for k := range g.atomCache {
+		if k.ver == ver {
+			delete(g.atomCache, k)
+		}
+	}
+	g.atomMu.Unlock()
+
+	g.planMu.Lock()
+	for k := range g.planCache {
+		if k.ver == ver {
+			delete(g.planCache, k)
+		}
+	}
+	g.planMu.Unlock()
+}
+
+// materializeAt evaluates the named view over db with singleflight caching
+// under the (ver, name) key: under concurrent demand exactly one goroutine
+// performs the evaluation, the rest block until the instance is ready.
+// Materialization always runs to completion — it is shared work, so no
+// caller's context may cancel it for the others. A failed materialization
+// is not cached, so transient errors are retried on next demand.
+func (g *Generator) materializeAt(db *storage.Database, ver int, viewName string) (*storage.Relation, error) {
+	key := genKey{ver, viewName}
+	g.viewMu.Lock()
+	if e, ok := g.viewCache[key]; ok {
 		g.viewMu.Unlock()
 		<-e.ready
 		return e.rel, e.err
 	}
 	e := &viewEntry{ready: make(chan struct{})}
-	g.viewCache[viewName] = e
+	g.viewCache[key] = e
 	g.viewMu.Unlock()
 
-	rel, pos, err := g.materializeView(viewName)
+	rel, pos, err := g.materializeView(db, viewName)
 	g.viewMu.Lock()
 	if err == nil {
 		g.paramPos[viewName] = pos
-	} else if g.viewCache[viewName] == e {
-		delete(g.viewCache, viewName)
+	} else if g.viewCache[key] == e {
+		delete(g.viewCache, key)
 	}
 	g.viewMu.Unlock()
 	e.rel, e.err = rel, err
@@ -519,8 +702,8 @@ func (g *Generator) materialize(viewName string) (*storage.Relation, error) {
 	return rel, err
 }
 
-// materializeView performs the actual view evaluation and indexing.
-func (g *Generator) materializeView(viewName string) (*storage.Relation, []int, error) {
+// materializeView performs the actual view evaluation and indexing over db.
+func (g *Generator) materializeView(db *storage.Database, viewName string) (*storage.Relation, []int, error) {
 	v := g.reg.View(viewName)
 	if v == nil {
 		return nil, nil, fmt.Errorf("citation: unknown view %s", viewName)
@@ -530,7 +713,7 @@ func (g *Generator) materializeView(viewName string) (*storage.Relation, []int, 
 		return nil, nil, err
 	}
 	inst := storage.NewRelation(rs)
-	if err := eval.Materialize(g.db, v.Query, inst); err != nil {
+	if err := eval.Materialize(db, v.Query, inst); err != nil {
 		return nil, nil, err
 	}
 	for col := 0; col < rs.Arity(); col++ {
@@ -566,14 +749,15 @@ func (g *Generator) annotator() func(pred string, t storage.Tuple) citeexpr.Expr
 	}
 }
 
-// resolver returns a caching policy.Resolver that evaluates a view's
-// citation queries with the atom's parameter values and applies the view's
-// citation function. The cache is shared across concurrent Cite calls and
-// singleflight: a hot atom demanded by many citers at once is resolved by
-// exactly one of them (failures are evicted so they retry).
-func (g *Generator) resolver(stats *Stats) policy.Resolver {
+// resolverAt returns a caching policy.Resolver that evaluates a view's
+// citation queries over db with the atom's parameter values and applies
+// the view's citation function. The cache is shared across concurrent
+// Cite calls under the (ver, atom) key and singleflight: a hot atom
+// demanded by many citers at once is resolved by exactly one of them
+// (failures are evicted so they retry).
+func (g *Generator) resolverAt(db *storage.Database, ver int, stats *Stats) policy.Resolver {
 	return func(a citeexpr.Atom) (format.Record, error) {
-		key := a.Key()
+		key := genKey{ver, a.Key()}
 		g.atomMu.Lock()
 		if e, ok := g.atomCache[key]; ok {
 			g.atomMu.Unlock()
@@ -584,7 +768,7 @@ func (g *Generator) resolver(stats *Stats) policy.Resolver {
 		g.atomCache[key] = e
 		g.atomMu.Unlock()
 
-		rec, err := g.ResolveAtom(a)
+		rec, err := g.resolveAtom(db, a)
 		if err != nil {
 			g.atomMu.Lock()
 			if g.atomCache[key] == e {
@@ -609,11 +793,11 @@ func (g *Generator) Materialized(name string) (*storage.Relation, error) {
 	return g.materialize(name)
 }
 
-// IsMaterialized reports whether the view is currently in the cache (a
-// materialization still in flight does not count).
+// IsMaterialized reports whether the view is currently in the head
+// generation's cache (a materialization still in flight does not count).
 func (g *Generator) IsMaterialized(name string) bool {
 	g.viewMu.RLock()
-	e, ok := g.viewCache[name]
+	e, ok := g.viewCache[genKey{0, name}]
 	g.viewMu.RUnlock()
 	if !ok {
 		return false
@@ -626,16 +810,18 @@ func (g *Generator) IsMaterialized(name string) bool {
 	}
 }
 
-// InvalidateAtoms drops cached citation records for one view (all
-// parameter instantiations). The evolution package calls this when a delta
-// touches a relation referenced by the view's citation queries.
+// InvalidateAtoms drops the head generation's cached citation records for
+// one view (all parameter instantiations). The evolution package calls
+// this when a delta touches a relation referenced by the view's citation
+// queries; snapshot-keyed records are untouched — deltas cannot reach
+// committed versions.
 func (g *Generator) InvalidateAtoms(view string) {
 	g.atomMu.Lock()
 	defer g.atomMu.Unlock()
 	prefix := "C" + view
 	for k := range g.atomCache {
-		if strings.HasPrefix(k, prefix) &&
-			(len(k) == len(prefix) || k[len(prefix)] == '(') {
+		if k.ver == 0 && strings.HasPrefix(k.name, prefix) &&
+			(len(k.name) == len(prefix) || k.name[len(prefix)] == '(') {
 			delete(g.atomCache, k)
 		}
 	}
@@ -645,12 +831,18 @@ func (g *Generator) InvalidateAtoms(view string) {
 // repeated resolutions of the same atom are free until the cache is
 // invalidated.
 func (g *Generator) ResolveAtomCached(a citeexpr.Atom) (format.Record, error) {
-	return g.resolver(nil)(a)
+	return g.resolverAt(g.db, 0, nil)(a)
 }
 
 // ResolveAtom evaluates the citation queries of the atom's view with the
-// atom's parameter values bound, and applies the citation function.
+// atom's parameter values bound against the head database, and applies
+// the citation function.
 func (g *Generator) ResolveAtom(a citeexpr.Atom) (format.Record, error) {
+	return g.resolveAtom(g.db, a)
+}
+
+// resolveAtom is ResolveAtom against an explicit target database.
+func (g *Generator) resolveAtom(db *storage.Database, a citeexpr.Atom) (format.Record, error) {
 	v := g.reg.View(a.View)
 	if v == nil {
 		return nil, fmt.Errorf("citation: unknown view %s in citation atom", a.View)
@@ -669,7 +861,7 @@ func (g *Generator) ResolveAtom(a citeexpr.Atom) (format.Record, error) {
 	for _, c := range v.Citations {
 		inst := c.Query.Substitute(sub)
 		inst.Params = nil
-		tuples, err := eval.Eval(g.db, inst)
+		tuples, err := eval.Eval(db, inst)
 		if err != nil {
 			return nil, fmt.Errorf("citation: evaluating citation query %s: %w", c.Query.Name, err)
 		}

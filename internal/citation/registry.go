@@ -2,6 +2,7 @@ package citation
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cq"
 	"repro/internal/rewrite"
@@ -10,7 +11,13 @@ import (
 
 // Registry holds the citation views declared by the database owner for one
 // schema. Views are addressed by their predicate name.
+//
+// A Registry is safe for concurrent use: Add serializes against readers
+// through an internal lock, so time-travel cites — which deliberately run
+// outside the engine-wide lock (core.System, DESIGN.md §7) — can read the
+// view set while a DefineView lands.
 type Registry struct {
+	mu     sync.RWMutex
 	schema *schema.Schema
 	views  []*View
 	byName map[string]*View
@@ -31,6 +38,8 @@ func (r *Registry) Add(v *View) error {
 		return err
 	}
 	name := v.Name()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.byName[name]; dup {
 		return fmt.Errorf("citation: view %s already registered", name)
 	}
@@ -50,21 +59,33 @@ func (r *Registry) MustAdd(v *View) {
 }
 
 // View returns the named view, or nil.
-func (r *Registry) View(name string) *View { return r.byName[name] }
+func (r *Registry) View(name string) *View {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byName[name]
+}
 
 // Views returns the registered views in registration order.
 func (r *Registry) Views() []*View {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]*View, len(r.views))
 	copy(out, r.views)
 	return out
 }
 
 // Len returns the number of registered views.
-func (r *Registry) Len() int { return len(r.views) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.views)
+}
 
 // ViewQueries returns the view queries in registration order, as consumed
 // by the rewriting engine.
 func (r *Registry) ViewQueries() []*cq.Query {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]*cq.Query, 0, len(r.views))
 	for _, v := range r.views {
 		out = append(out, v.Query)

@@ -7,10 +7,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/citation"
 	"repro/internal/citestore"
@@ -30,15 +32,24 @@ import (
 // calls may run in parallel with each other (they share the generator's
 // singleflight materialization cache), while Commit, DefineView and
 // SetPolicy take the write side of the system lock — a Commit therefore
-// observes no in-flight citations and atomically invalidates the
-// generator's caches before the next Cite proceeds.
+// observes no in-flight head citations and atomically invalidates the
+// generator's head caches before the next Cite proceeds.
+//
+// The CiteContext family threads a context.Context and per-call
+// CiteOptions through the whole request path: cancellation reaches the
+// plan enumeration, and AtVersion cites any committed snapshot. Versioned
+// cites run entirely outside the engine lock — their target is immutable
+// and their cache entries are never invalidated — so a Commit neither
+// blocks them nor races them (DESIGN.md §7).
 type System struct {
-	// mu is the engine-wide readers/writer lock: Cite-family calls hold it
-	// shared, state-changing calls (Commit, DefineView, SetPolicy,
-	// SetParallelism) hold it exclusively.
+	// mu is the engine-wide readers/writer lock: head-targeting
+	// Cite-family calls hold it shared, state-changing calls (Commit,
+	// DefineView, SetPolicy, SetParallelism) hold it exclusively.
+	// AtVersion cites do not take it at all.
 	mu    sync.RWMutex
-	epoch int64 // monotonic version token, bumped by every invalidating change
-	par   int   // bounded parallelism for CiteAll (0 = GOMAXPROCS)
+	epoch int64        // monotonic version token, bumped by every invalidating change
+	cfg   int64        // configuration generation: bumped by SetPolicy/DefineView only, NOT by Commit
+	par   atomic.Int32 // default parallelism (0 = GOMAXPROCS); atomic so lock-free versioned cites read it
 	store *fixity.Store
 	reg   *citation.Registry
 	gen   *citation.Generator
@@ -90,9 +101,13 @@ func (s *System) Database() *storage.Database { return s.store.Head() }
 // outcome of a citation — Commit, DefineView and SetPolicy — atomically
 // with the change itself (the bump happens under the exclusive system
 // lock, so a Cite that observes epoch e computes against state no older
-// than e). External result caches key on this token: an entry cached at
-// epoch e is never served once the epoch has moved on, which is the
-// server-cache invalidation rule documented in DESIGN.md §3.
+// than e). SetParallelism does NOT bump the epoch: it only changes how
+// work is scheduled, never what a citation contains. External result
+// caches key head results on this token: an entry cached at epoch e is
+// never served once the epoch has moved on, which is the server-cache
+// invalidation rule documented in DESIGN.md §3. Results of AtVersion
+// cites are keyed on the requested version instead — they are immutable
+// and outlive every epoch.
 func (s *System) Version() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -110,31 +125,74 @@ func (s *System) Versions() (epoch int64, store fixity.Version) {
 	return s.epoch, s.store.Latest()
 }
 
-// SetPolicy replaces the combination policy.
+// ConfigVersion returns the configuration generation: a monotonic token
+// bumped by SetPolicy and DefineView — the changes that can alter what a
+// citation of an *already committed* version contains — and deliberately
+// NOT by Commit, which cannot. External caches of AtVersion results key
+// on (ConfigVersion, version, query): entries survive every commit (the
+// snapshot is immutable) but are orphaned the moment the default policy
+// or the view set changes.
+func (s *System) ConfigVersion() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cfg
+}
+
+// Epochs returns the epoch, the configuration generation and the latest
+// committed store version under one shared lock acquisition, so the
+// triple is consistent against concurrent state changes. Servers read it
+// once before keying a request batch.
+func (s *System) Epochs() (epoch, config int64, store fixity.Version) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch, s.cfg, s.store.Latest()
+}
+
+// SetPolicy replaces the *default* combination policy — the one used by
+// calls that carry no WithPolicy option. A per-call WithPolicy always
+// takes precedence and never touches this default.
+//
+// SetPolicy bumps Version(): changing the default can change the outcome
+// of every subsequent default-policy citation, so external result caches
+// keyed on the epoch must turn over.
+//
+// Deprecated: SetPolicy mutates process-global state and therefore cannot
+// serve callers that need different policies concurrently. New code
+// should pass WithPolicy to CiteContext instead and leave the default
+// alone.
 func (s *System) SetPolicy(p policy.Policy) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.epoch++
+	s.cfg++
 	s.gen.SetPolicy(p)
 }
 
-// SetParallelism bounds the worker pools used by the citation engine: the
-// per-query rewriting evaluation and the CiteAll batch fan-out. 0 (the
-// default) means GOMAXPROCS; 1 forces fully sequential evaluation, which
-// is useful to compare parallel and sequential citation output.
+// SetParallelism sets the *default* bound for the worker pools used by
+// the citation engine — the per-query rewriting evaluation and the
+// CiteAll batch fan-out — used by calls that carry no WithParallelism
+// option (which always takes precedence). 0 (the default) means
+// GOMAXPROCS; 1 forces fully sequential evaluation, which is useful to
+// compare parallel and sequential citation output.
+//
+// SetParallelism does NOT bump Version(): parallel and sequential
+// evaluation produce structurally identical citations (DESIGN.md §3), so
+// cached results stay valid across the change.
+//
+// Deprecated: SetParallelism mutates process-global state; new code
+// should pass WithParallelism to CiteContext for per-call control.
 func (s *System) SetParallelism(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.par = n
+	s.par.Store(int32(n))
 	s.gen.Parallelism = n
 }
 
-// parallelism resolves the effective CiteAll fan-out width.
+// parallelism resolves the effective default fan-out width, lock-free so
+// versioned cites never wait on the engine lock.
 func (s *System) parallelism() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.par > 0 {
-		return s.par
+	if n := s.par.Load(); n > 0 {
+		return int(n)
 	}
 	return runtime.GOMAXPROCS(0)
 }
@@ -164,6 +222,7 @@ func (s *System) DefineView(viewSrc string, static format.Record, specs ...Citat
 		return err
 	}
 	s.epoch++
+	s.cfg++
 	return nil
 }
 
@@ -208,30 +267,98 @@ type Citation struct {
 // Cite parses querySrc, generates its citation against the head database,
 // and — when at least one version has been committed — attaches a fixity
 // pin computed against the latest version. Cite holds the system lock
-// shared, so any number of citations are generated concurrently.
+// shared, so any number of citations are generated concurrently. It is
+// CiteContext with a background context and no options.
 func (s *System) Cite(querySrc string) (*Citation, error) {
+	return s.CiteContext(context.Background(), querySrc)
+}
+
+// CiteContext parses querySrc and generates its citation under the
+// per-call options:
+//
+//   - AtVersion(v) cites against committed snapshot v instead of the head
+//     (ErrUnknownVersion if v was never committed); the pin executes at v.
+//   - WithPolicy / WithRewriteMethod / WithParallelism override the
+//     system defaults for this call only.
+//   - WithoutFixityPin skips the pin re-execution.
+//
+// Cancellation is cooperative and threads down to the plan enumeration:
+// when ctx is canceled or its deadline passes, the call aborts promptly
+// and returns ctx.Err(). A malformed query reports an error satisfying
+// errors.Is(err, cq.ErrBadQuery).
+func (s *System) CiteContext(ctx context.Context, querySrc string, opts ...CiteOption) (*Citation, error) {
 	q, err := cq.Parse(querySrc)
 	if err != nil {
 		return nil, fmt.Errorf("core: query: %w", err)
 	}
-	return s.CiteQuery(q)
+	return s.CiteQueryContext(ctx, q, opts...)
 }
 
 // CiteQuery is Cite for an already-parsed query.
 func (s *System) CiteQuery(q *cq.Query) (*Citation, error) {
+	return s.CiteQueryContext(context.Background(), q)
+}
+
+// CiteQueryContext is CiteContext for an already-parsed query.
+//
+// Head-targeting calls hold the system lock shared, exactly like Cite.
+// AtVersion calls do not take the engine lock at all: the target snapshot
+// is immutable, the registry serializes internally, and the generator's
+// version-keyed caches are never invalidated — so a concurrent Commit
+// neither blocks a time-travel cite nor evicts its cache entries.
+func (s *System) CiteQueryContext(ctx context.Context, q *cq.Query, opts ...CiteOption) (*Citation, error) {
+	cfg := resolveOptions(opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req := citation.Request{
+		Policy:      cfg.policy,
+		Method:      cfg.method,
+		Parallelism: cfg.parallelism,
+	}
+	if req.Parallelism <= 0 {
+		req.Parallelism = s.parallelism()
+	}
+
+	if cfg.version > 0 {
+		// Time-travel cite: resolve the immutable snapshot and run outside
+		// the engine lock (see the method comment).
+		db, err := s.store.At(cfg.version)
+		if err != nil {
+			return nil, err
+		}
+		req.DB = db
+		req.Version = int(cfg.version)
+		res, err := s.gen.CiteContext(ctx, q, req)
+		if err != nil {
+			return nil, err
+		}
+		out := &Citation{Result: res}
+		if !cfg.noPin {
+			_, pin, err := s.store.ExecuteContext(ctx, q, cfg.version)
+			if err != nil {
+				return nil, err
+			}
+			out.Pin = &pin
+		}
+		return out, nil
+	}
+
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	res, err := s.gen.Cite(q)
+	res, err := s.gen.CiteContext(ctx, q, req)
 	if err != nil {
 		return nil, err
 	}
 	out := &Citation{Result: res}
-	if s.store.Latest() > 0 {
-		_, pin, err := s.store.ExecuteLatest(q)
-		if err != nil {
-			return nil, err
+	if !cfg.noPin {
+		if v := s.store.Latest(); v > 0 {
+			_, pin, err := s.store.ExecuteContext(ctx, q, v)
+			if err != nil {
+				return nil, err
+			}
+			out.Pin = &pin
 		}
-		out.Pin = &pin
 	}
 	return out, nil
 }
@@ -248,6 +375,13 @@ func (s *System) CiteQuery(q *cq.Query) (*Citation, error) {
 // starve Commit, and a Commit that lands mid-batch is observed by the
 // remaining queries' fixity pins.
 func (s *System) CiteAll(queries []string) ([]*Citation, error) {
+	return s.CiteAllContext(context.Background(), queries)
+}
+
+// CiteAllContext is CiteAll with a context and per-call options applied
+// to every batch member. Canceling ctx aborts in-flight members and
+// skips unstarted ones; the first failure in query order is returned.
+func (s *System) CiteAllContext(ctx context.Context, queries []string, opts ...CiteOption) ([]*Citation, error) {
 	qs := make([]*cq.Query, len(queries))
 	for i, src := range queries {
 		q, err := cq.Parse(src)
@@ -258,7 +392,7 @@ func (s *System) CiteAll(queries []string) ([]*Citation, error) {
 	}
 	out := make([]*Citation, len(queries))
 	errs := make([]error, len(queries))
-	s.citeBatch(qs, out, errs)
+	s.citeBatch(ctx, qs, out, errs, opts)
 	for i, err := range errs {
 		if err != nil {
 			out[i] = nil
@@ -274,6 +408,13 @@ func (s *System) CiteAll(queries []string) ([]*Citation, error) {
 // batch. This is the entry point network servers use, where one client's
 // malformed query must not fail its neighbors in a batch.
 func (s *System) CiteEach(queries []string) (out []*Citation, errs []error) {
+	return s.CiteEachContext(context.Background(), queries)
+}
+
+// CiteEachContext is CiteEach with a context and per-call options applied
+// to every batch member. A canceled ctx records ctx.Err() for every
+// member not yet completed.
+func (s *System) CiteEachContext(ctx context.Context, queries []string, opts ...CiteOption) (out []*Citation, errs []error) {
 	qs := make([]*cq.Query, len(queries))
 	out = make([]*Citation, len(queries))
 	errs = make([]error, len(queries))
@@ -285,22 +426,26 @@ func (s *System) CiteEach(queries []string) (out []*Citation, errs []error) {
 		}
 		qs[i] = q
 	}
-	s.citeBatch(qs, out, errs)
+	s.citeBatch(ctx, qs, out, errs, opts)
 	return out, errs
 }
 
 // citeBatch cites every non-nil query over a worker pool bounded by the
-// system parallelism, writing results and errors positionally. Positions
-// with a nil query (parse failures recorded by the caller) are skipped.
-func (s *System) citeBatch(qs []*cq.Query, out []*Citation, errs []error) {
-	workers := s.parallelism()
+// per-call (or system) parallelism, writing results and errors
+// positionally. Positions with a nil query (parse failures recorded by
+// the caller) are skipped.
+func (s *System) citeBatch(ctx context.Context, qs []*cq.Query, out []*Citation, errs []error, opts []CiteOption) {
+	workers := resolveOptions(opts).parallelism
+	if workers <= 0 {
+		workers = s.parallelism()
+	}
 	if workers > len(qs) {
 		workers = len(qs)
 	}
 	if workers <= 1 {
 		for i, q := range qs {
 			if q != nil {
-				out[i], errs[i] = s.CiteQuery(q)
+				out[i], errs[i] = s.CiteQueryContext(ctx, q, opts...)
 			}
 		}
 		return
@@ -312,7 +457,7 @@ func (s *System) citeBatch(qs []*cq.Query, out []*Citation, errs []error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i], errs[i] = s.CiteQuery(qs[i])
+				out[i], errs[i] = s.CiteQueryContext(ctx, qs[i], opts...)
 			}
 		}()
 	}

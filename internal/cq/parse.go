@@ -1,6 +1,7 @@
 package cq
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"unicode"
@@ -201,10 +202,25 @@ func (p *parser) expect(k tokenKind, what string) (token, error) {
 	return t, nil
 }
 
+// ErrBadQuery wraps every Parse failure — lexing, grammar and validation
+// alike — so callers layered above the parser (the engine façade, the
+// serving layer) can classify "the query text itself is wrong" with
+// errors.Is and answer a client error instead of a server fault.
+var ErrBadQuery = errors.New("cq: bad query")
+
 // Parse parses a single conjunctive query in datalog syntax. Equality atoms
 // (Var = literal) are folded into the query as constant substitutions. The
-// body keyword "true" denotes an empty body.
+// body keyword "true" denotes an empty body. Every failure wraps
+// ErrBadQuery.
 func Parse(input string) (*Query, error) {
+	q, err := parse(input)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	return q, nil
+}
+
+func parse(input string) (*Query, error) {
 	p, err := newParser(input)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/schema"
+	"repro/internal/semiring"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// bigSelfJoin builds a database where R has n tuples and returns the
+// three-way self-join query (n^3 bindings).
+func bigSelfJoin(t *testing.T, n int) (*storage.Database, *cq.Query) {
+	t.Helper()
+	s := schema.New()
+	rs, err := schema.NewRelation("R", []schema.Attribute{{Name: "X", Kind: value.KindInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustAdd(rs)
+	db := storage.NewDatabase(s)
+	for i := 0; i < n; i++ {
+		if err := db.Insert("R", value.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.BuildIndexes()
+	return db, cq.MustParse("Q(X, Y, Z) :- R(X), R(Y), R(Z)")
+}
+
+// TestContextVariantsMatchPlain asserts the ctx-aware entry points produce
+// exactly the plain results under a never-canceled context.
+func TestContextVariantsMatchPlain(t *testing.T) {
+	db, q := bigSelfJoin(t, 8)
+	p, err := Compile(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := p.Eval()
+	withCtx, err := p.EvalContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cancelable-but-never-canceled context takes the polling path.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	polled, err := p.EvalContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range [][]storage.Tuple{withCtx, polled} {
+		if len(got) != len(plain) {
+			t.Fatalf("ctx eval returned %d tuples, plain %d", len(got), len(plain))
+		}
+		for i := range got {
+			if !got[i].Equal(plain[i]) {
+				t.Fatalf("tuple %d: ctx %v, plain %v", i, got[i], plain[i])
+			}
+		}
+	}
+
+	annot := func(pred string, tup storage.Tuple) int { return 1 }
+	seq := RunAnnotated[int](p, semiring.Natural{}, annot)
+	par, err := RunAnnotatedParallelCtx[int](ctx, p, semiring.Natural{}, annot, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("parallel ctx run returned %d tuples, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if !seq[i].Tuple.Equal(par[i].Tuple) || seq[i].Annotation != par[i].Annotation {
+			t.Fatalf("row %d: parallel %v/%d, sequential %v/%d",
+				i, par[i].Tuple, par[i].Annotation, seq[i].Tuple, seq[i].Annotation)
+		}
+	}
+}
+
+// TestRunCancellation asserts both enumeration paths abort with ctx.Err().
+func TestRunCancellation(t *testing.T) {
+	db, q := bigSelfJoin(t, 64)
+	p, err := Compile(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annot := func(pred string, tup storage.Tuple) int { return 1 }
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // pre-canceled: the run must abort before enumerating
+		if _, err := RunAnnotatedParallelCtx[int](ctx, p, semiring.Natural{}, annot, workers); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.EvalContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvalContext err = %v, want context.Canceled", err)
+	}
+	if _, err := EvalContext(ctx, db, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("package EvalContext err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancellationWithoutBindings asserts cancellation is observed even
+// by a join that rejects every combination: the walk produces zero
+// satisfying assignments, so polls paced on bindings would never fire —
+// forEachCancel paces on candidate tuples examined instead.
+func TestCancellationWithoutBindings(t *testing.T) {
+	s := schema.New()
+	rs, err := schema.NewRelation("P", []schema.Attribute{
+		{Name: "A", Kind: value.KindInt},
+		{Name: "B", Kind: value.KindInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustAdd(rs)
+	db := storage.NewDatabase(s)
+	// A chain i -> i+1: the join P(X,Y), P(Y,Z), P(Z,X) (a 3-cycle) has
+	// no satisfying assignment over a pure chain.
+	for i := 0; i < 5000; i++ {
+		if err := db.Insert("P", value.Int(int64(i)), value.Int(int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.BuildIndexes()
+	q := cq.MustParse("Q(X, Y, Z) :- P(X, Y), P(Y, Z), P(Z, X)")
+	p, err := Compile(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: the join really is empty.
+	if out := p.Eval(); len(out) != 0 {
+		t.Fatalf("cycle query returned %d tuples over a chain", len(out))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st := p.getState()
+	defer p.putState(st)
+	calls := 0
+	if p.forEachCancel(ctx, st, nil, func(*runState) bool { calls++; return true }) {
+		t.Error("forEachCancel completed under a canceled context")
+	}
+	if calls != 0 {
+		t.Errorf("join with no satisfying assignments invoked fn %d times", calls)
+	}
+	if _, err := p.EvalContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvalContext err = %v, want context.Canceled", err)
+	}
+}

@@ -22,6 +22,8 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -30,6 +32,11 @@ import (
 	"repro/internal/storage"
 	"repro/internal/value"
 )
+
+// ErrUnknownRelation is returned when a query references a predicate the
+// instance does not supply. Callers distinguish it with errors.Is — the
+// serving layer maps it to a client error instead of a server fault.
+var ErrUnknownRelation = errors.New("eval: unknown relation")
 
 // Instance supplies relation instances by predicate name. Both
 // *storage.Database and the lightweight Relations map implement it.
@@ -122,6 +129,17 @@ func Eval(inst Instance, q *cq.Query) ([]storage.Tuple, error) {
 	return p.Eval(), nil
 }
 
+// EvalContext is Eval with cooperative cancellation: the enumeration polls
+// ctx and aborts with ctx.Err() when it is canceled or its deadline
+// passes. A context that can never be canceled pays no overhead.
+func EvalContext(ctx context.Context, inst Instance, q *cq.Query) ([]storage.Tuple, error) {
+	p, err := Compile(inst, q)
+	if err != nil {
+		return nil, err
+	}
+	return p.EvalContext(ctx)
+}
+
 // ForEachBinding enumerates every satisfying assignment of q's body
 // variables, invoking fn with each complete binding. fn returning false
 // stops the enumeration early. Each callback receives a freshly built
@@ -198,7 +216,7 @@ func orderAtoms(inst Instance, body []cq.Atom) ([]cq.Atom, error) {
 	for _, a := range body {
 		rel := inst.Relation(a.Predicate)
 		if rel == nil {
-			return nil, fmt.Errorf("eval: unknown relation %s", a.Predicate)
+			return nil, fmt.Errorf("%w %s", ErrUnknownRelation, a.Predicate)
 		}
 		if rel.Schema().Arity() != len(a.Terms) {
 			return nil, fmt.Errorf("eval: atom %s has arity %d, relation has %d",

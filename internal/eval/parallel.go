@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -35,8 +36,25 @@ func EvalAnnotatedParallel[T any](inst Instance, q *cq.Query, sr semiring.Semiri
 // free-expression annotations such as citeexpr — is identical to the
 // sequential evaluation. annot must be safe for concurrent calls.
 func RunAnnotatedParallel[T any](p *Plan, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T, workers int) []Annotated[T] {
+	// context.Background can never be canceled, so the ctx variant takes
+	// its poll-free path and the error is statically nil.
+	out, _ := RunAnnotatedParallelCtx(context.Background(), p, sr, annot, workers)
+	return out
+}
+
+// RunAnnotatedParallelCtx is RunAnnotatedParallel with cooperative
+// cancellation: every worker polls ctx every cancelCheckMask+1 candidate
+// tuples its chunk's walk examines — at every join depth, independent of
+// how many satisfying assignments exist — so canceling ctx aborts the
+// whole run promptly with ctx.Err() instead of finishing the
+// enumeration. A context that can never be canceled pays no polling
+// overhead.
+func RunAnnotatedParallelCtx[T any](ctx context.Context, p *Plan, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T, workers int) ([]Annotated[T], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if p.constant {
-		return constantRun(p, sr)
+		return constantRun(p, sr), nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -44,8 +62,13 @@ func RunAnnotatedParallel[T any](p *Plan, sr semiring.Semiring[T], annot func(pr
 	if workers <= 1 {
 		// Sequential run: leave leading nil so step 0 enumerates through
 		// the pooled candidate buffer instead of materializing a fresh
-		// slice per call.
-		return finishAnnotated(runAnnotatedLeading(p, sr, annot, nil))
+		// slice per call (the ctx-free path), or is re-fetched by the
+		// cancelable walk.
+		acc, err := runAnnotatedLeadingCtx(ctx, p, sr, annot, nil)
+		if err != nil {
+			return nil, err
+		}
+		return finishAnnotated(acc), nil
 	}
 	leading := p.leadingCandidates()
 	if max := len(leading) / minLeadingPerWorker; workers > max {
@@ -53,12 +76,19 @@ func RunAnnotatedParallel[T any](p *Plan, sr semiring.Semiring[T], annot func(pr
 	}
 	if workers <= 1 {
 		// Too few leading tuples to partition; reuse the computed slice.
-		return finishAnnotated(runAnnotatedLeading(p, sr, annot, leading))
+		acc, err := runAnnotatedLeadingCtx(ctx, p, sr, annot, leading)
+		if err != nil {
+			return nil, err
+		}
+		return finishAnnotated(acc), nil
 	}
 
 	// Contiguous partition: chunk i covers leading[i*size : (i+1)*size],
 	// preserving the sequential enumeration order across chunk boundaries.
+	// Each worker polls ctx independently, so one cancellation stops every
+	// chunk within its own poll interval.
 	results := make([]*annotAcc[T], workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	size := (len(leading) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -73,10 +103,15 @@ func RunAnnotatedParallel[T any](p *Plan, sr semiring.Semiring[T], annot func(pr
 		wg.Add(1)
 		go func(w int, chunk []storage.Tuple) {
 			defer wg.Done()
-			results[w] = runAnnotatedLeading(p, sr, annot, chunk)
+			results[w], errs[w] = runAnnotatedLeadingCtx(ctx, p, sr, annot, chunk)
 		}(w, leading[lo:hi])
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	// Merge chunk accumulators in chunk order. Associativity of Plus makes
 	// the left-fold over chunk subtotals equal to the sequential left-fold
@@ -96,5 +131,5 @@ func RunAnnotatedParallel[T any](p *Plan, sr semiring.Semiring[T], annot func(pr
 			}
 		}
 	}
-	return finishAnnotated(total)
+	return finishAnnotated(total), nil
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -121,7 +122,7 @@ func Compile(inst Instance, q *cq.Query) (*Plan, error) {
 	for _, a := range q.Body {
 		rel := inst.Relation(a.Predicate)
 		if rel == nil {
-			return nil, fmt.Errorf("eval: unknown relation %s", a.Predicate)
+			return nil, fmt.Errorf("%w %s", ErrUnknownRelation, a.Predicate)
 		}
 		if rel.Schema().Arity() != len(a.Terms) {
 			return nil, fmt.Errorf("eval: atom %s has arity %d, relation has %d",
@@ -318,6 +319,69 @@ func (p *Plan) forEach(st *runState, leading []storage.Tuple, fn func(*runState)
 	return rec(0)
 }
 
+// forEachCancel is forEach with cooperative cancellation: ctx is polled
+// every cancelCheckMask+1 candidate tuples examined, at every join depth
+// — not per satisfying assignment — so even highly selective joins that
+// reject every combination (and would never invoke fn) observe a
+// cancellation. It reports whether the walk ran to completion; callers
+// whose fn always returns true can read false as "canceled".
+func (p *Plan) forEachCancel(ctx context.Context, st *runState, leading []storage.Tuple, fn func(*runState) bool) bool {
+	examined := 0
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(p.steps) {
+			return fn(st)
+		}
+		s := &p.steps[i]
+		var cands []storage.Tuple
+		if i == 0 && leading != nil {
+			cands = leading
+		} else {
+			buf := st.cand[i][:0]
+			if s.probeCol >= 0 {
+				v := s.probeConst
+				if s.probeSlot >= 0 {
+					v = st.regs[s.probeSlot]
+				}
+				buf = s.rel.AppendLookup(buf, s.probeCol, v)
+			} else {
+				buf = s.rel.AppendTuples(buf)
+			}
+			st.cand[i] = buf
+			cands = buf
+		}
+		for _, t := range cands {
+			examined++
+			if examined&cancelCheckMask == 0 && ctx.Err() != nil {
+				return false
+			}
+			for _, b := range s.binds {
+				st.regs[b.slot] = t[b.col]
+			}
+			ok := true
+			for _, c := range s.checks {
+				want := c.cnst
+				if c.slot >= 0 {
+					want = st.regs[c.slot]
+				}
+				if t[c.col] != want {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			st.matched[i] = t
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
 // fillHead projects the register file onto the head buffer.
 func (p *Plan) fillHead(st *runState) {
 	for i, h := range p.head {
@@ -356,6 +420,35 @@ func (p *Plan) Eval() []storage.Tuple {
 	out := ix.tuples
 	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
+}
+
+// EvalContext is Eval with cooperative cancellation (via forEachCancel,
+// which polls ctx per candidate tuple at every join depth): a canceled
+// enumeration aborts with ctx.Err(). A context that can never be
+// canceled (ctx.Done() == nil) takes the poll-free Eval path.
+func (p *Plan) EvalContext(ctx context.Context) ([]storage.Tuple, error) {
+	if ctx.Done() == nil {
+		return p.Eval(), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.constant {
+		return []storage.Tuple{p.constRow.Clone()}, nil
+	}
+	st := p.getState()
+	defer p.putState(st)
+	var ix TupleIndex
+	if !p.forEachCancel(ctx, st, nil, func(st *runState) bool {
+		p.fillHead(st)
+		ix.Add(st.headBuf)
+		return true
+	}) {
+		return nil, ctx.Err()
+	}
+	out := ix.tuples
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out, nil
 }
 
 // CountBindings returns the number of satisfying assignments (derivations)
@@ -419,6 +512,22 @@ type annotAcc[T any] struct {
 	anns []T
 }
 
+// accumBinding folds one satisfying assignment into the accumulator: the
+// Π over matched atoms, summed (⊕) into the output tuple's annotation.
+func accumBinding[T any](p *Plan, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T, out *annotAcc[T], st *runState) {
+	prod := sr.One()
+	for j := range p.steps {
+		prod = sr.Times(prod, annot(p.steps[j].pred, st.matched[j]))
+	}
+	p.fillHead(st)
+	id, added := out.ix.Add(st.headBuf)
+	if added {
+		out.anns = append(out.anns, prod)
+	} else {
+		out.anns[id] = sr.Plus(out.anns[id], prod)
+	}
+}
+
 // runAnnotatedLeading enumerates every satisfying assignment whose leading
 // tuple ranges over leading (nil means all of step 0's candidates), summing
 // the per-binding products into a fresh accumulator. It is the single
@@ -428,20 +537,41 @@ func runAnnotatedLeading[T any](p *Plan, sr semiring.Semiring[T], annot func(pre
 	st := p.getState()
 	defer p.putState(st)
 	p.forEach(st, leading, func(st *runState) bool {
-		prod := sr.One()
-		for j := range p.steps {
-			prod = sr.Times(prod, annot(p.steps[j].pred, st.matched[j]))
-		}
-		p.fillHead(st)
-		id, added := out.ix.Add(st.headBuf)
-		if added {
-			out.anns = append(out.anns, prod)
-		} else {
-			out.anns[id] = sr.Plus(out.anns[id], prod)
-		}
+		accumBinding(p, sr, annot, out, st)
 		return true
 	})
 	return out
+}
+
+// cancelCheckMask paces the context polls of cancelable runs: ctx.Err()
+// is consulted every (mask+1) candidate tuples examined by the walk. A
+// poll is one atomic load, so the interval trades promptness against
+// hot-loop overhead.
+const cancelCheckMask = 255
+
+// runAnnotatedLeadingCtx is runAnnotatedLeading with cooperative
+// cancellation (via forEachCancel, which polls per candidate tuple at
+// every join depth), aborting promptly with ctx.Err(). Contexts that can
+// never be canceled take the poll-free path.
+func runAnnotatedLeadingCtx[T any](ctx context.Context, p *Plan, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T, leading []storage.Tuple) (*annotAcc[T], error) {
+	if ctx.Done() == nil {
+		return runAnnotatedLeading(p, sr, annot, leading), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := &annotAcc[T]{}
+	st := p.getState()
+	defer p.putState(st)
+	if !p.forEachCancel(ctx, st, leading, func(st *runState) bool {
+		accumBinding(p, sr, annot, out, st)
+		return true
+	}) {
+		// The walk only ever stops after observing a non-nil (and
+		// sticky) ctx.Err().
+		return nil, ctx.Err()
+	}
+	return out, nil
 }
 
 // finishAnnotated converts an accumulator into the sorted output slice.

@@ -11,8 +11,10 @@
 package fixity
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -23,6 +25,11 @@ import (
 	"repro/internal/schema"
 	"repro/internal/storage"
 )
+
+// ErrUnknownVersion is returned when a version number names no committed
+// snapshot — too large, zero, negative, or from before the first commit.
+// Callers classify it with errors.Is; the serving layer maps it to 404.
+var ErrUnknownVersion = errors.New("fixity: unknown version")
 
 // Version identifies an immutable snapshot. Versions start at 1 and
 // increase by one per commit.
@@ -92,22 +99,23 @@ func (st *Store) Latest() Version {
 	return Version(len(st.versions))
 }
 
-// At returns the immutable database at the given version.
+// At returns the immutable database at the given version. A version that
+// was never committed reports ErrUnknownVersion.
 func (st *Store) At(v Version) (*storage.Database, error) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if v < 1 || int(v) > len(st.versions) {
-		return nil, fmt.Errorf("fixity: version %d does not exist (latest is %d)", v, len(st.versions))
+		return nil, fmt.Errorf("%w: %d (latest is %d)", ErrUnknownVersion, v, len(st.versions))
 	}
 	return st.versions[v-1], nil
 }
 
-// Info returns the commit metadata of a version.
+// Info returns the commit metadata of a version, or ErrUnknownVersion.
 func (st *Store) Info(v Version) (VersionInfo, error) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	if v < 1 || int(v) > len(st.infos) {
-		return VersionInfo{}, fmt.Errorf("fixity: version %d does not exist", v)
+		return VersionInfo{}, fmt.Errorf("%w: %d (latest is %d)", ErrUnknownVersion, v, len(st.infos))
 	}
 	return st.infos[v-1], nil
 }
@@ -159,6 +167,13 @@ func (p PinnedCitation) String() string {
 // Execute runs q against the given version and returns the result with a
 // pinned citation.
 func (st *Store) Execute(q *cq.Query, v Version) ([]storage.Tuple, PinnedCitation, error) {
+	return st.ExecuteContext(context.Background(), q, v)
+}
+
+// ExecuteContext is Execute with cooperative cancellation: the result
+// enumeration polls ctx and aborts with ctx.Err() when it is canceled. An
+// unknown version reports ErrUnknownVersion.
+func (st *Store) ExecuteContext(ctx context.Context, q *cq.Query, v Version) ([]storage.Tuple, PinnedCitation, error) {
 	db, err := st.At(v)
 	if err != nil {
 		return nil, PinnedCitation{}, err
@@ -167,7 +182,7 @@ func (st *Store) Execute(q *cq.Query, v Version) ([]storage.Tuple, PinnedCitatio
 	if err != nil {
 		return nil, PinnedCitation{}, err
 	}
-	tuples, err := eval.Eval(db, q)
+	tuples, err := eval.EvalContext(ctx, db, q)
 	if err != nil {
 		return nil, PinnedCitation{}, err
 	}

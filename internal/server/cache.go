@@ -4,16 +4,25 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/fixity"
 )
 
-// cacheKey identifies one cacheable citation: the system epoch it was (or
-// is being) computed at, plus the query text. Keying on the epoch is the
-// whole invalidation story — Commit/DefineView/SetPolicy bump the epoch
-// (core.System.Version), so entries cached under an older epoch are
-// simply never looked up again and age out of the LRU.
+// cacheKey identifies one cacheable citation. Head-targeting requests
+// (version 0) key on the system epoch they were (or are being) computed
+// at: Commit/DefineView/SetPolicy bump the epoch (core.System.Version),
+// so entries cached under an older epoch are simply never looked up
+// again and age out of the LRU — that is the whole invalidation story.
+// Version-pinned requests (?version=v) key on the requested version
+// with the *configuration generation* (core.System.ConfigVersion) in the
+// epoch field instead: the snapshot is immutable, so its results survive
+// every commit (purgeEpochKeyed retains them), but SetPolicy/DefineView
+// — which change what a citation of even an old version contains — bump
+// the config generation and orphan them like any epoch turn.
 type cacheKey struct {
-	epoch int64
-	query string
+	epoch   int64 // system epoch (head keys) or config generation (versioned keys)
+	version fixity.Version
+	query   string
 }
 
 // cacheCall is one in-flight computation. The owner closes done exactly
@@ -111,16 +120,34 @@ func (c *resultCache) complete(k cacheKey, cl *cacheCall, val CiteResult, err er
 	close(cl.done)
 }
 
-// purge drops every cached entry. In-flight computations are left alone:
-// they complete, hand their result to their waiters, and insert under
-// their (by now stale) epoch key, where the entry is unreachable and ages
-// out. Epoch keying already guarantees correctness — purge only releases
-// memory promptly after an explicit invalidation such as POST /commit.
+// purge drops every cached entry, version-pinned results included (used
+// by Server.InvalidateCache and cold-cache benchmarks). In-flight
+// computations are left alone: they complete, hand their result to their
+// waiters, and re-insert, where an epoch-keyed entry is unreachable and
+// ages out. Epoch keying already guarantees correctness — purging only
+// releases memory promptly after an explicit invalidation.
 func (c *resultCache) purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.lru.Init()
 	c.entries = make(map[cacheKey]*list.Element)
+}
+
+// purgeEpochKeyed drops the epoch-keyed (head-targeting) entries — the
+// ones a commit orphans — while retaining version-pinned results, which
+// are immutable and stay correct forever. POST /commit calls this.
+func (c *resultCache) purgeEpochKeyed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.version == 0 {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+		}
+	}
 }
 
 // len reports the number of cached entries.

@@ -206,3 +206,31 @@ func TestCacheConcurrentDistinctKeys(t *testing.T) {
 		t.Errorf("accounted %d acquisitions, want %d", total, 8*50)
 	}
 }
+
+// TestPurgeEpochKeyedKeepsVersioned pins the commit invalidation rule:
+// purging after a commit drops epoch-keyed (head) entries but retains
+// version-pinned ones, whose results are immutable.
+func TestPurgeEpochKeyedKeepsVersioned(t *testing.T) {
+	c := newResultCache(8)
+	head := cacheKey{epoch: 7, query: "q"}
+	pinned := cacheKey{version: 3, query: "q"}
+	for _, k := range []cacheKey{head, pinned} {
+		_, _, cl, owner := c.acquire(k)
+		if !owner {
+			t.Fatalf("key %+v not owned on first acquire", k)
+		}
+		c.complete(k, cl, CiteResult{Query: k.query}, nil)
+	}
+
+	c.purgeEpochKeyed()
+
+	if _, cached, _, _ := c.acquire(head); cached {
+		t.Error("epoch-keyed entry survived purgeEpochKeyed")
+	}
+	if _, cached, _, _ := c.acquire(pinned); !cached {
+		t.Error("version-pinned entry did not survive purgeEpochKeyed")
+	}
+	if got := c.len(); got != 1 {
+		t.Errorf("len = %d, want 1 (the versioned entry)", got)
+	}
+}

@@ -11,11 +11,18 @@
 // Endpoints:
 //
 //	POST /cite     {"query": "..."} or {"queries": ["...", ...]}
+//	               ?version=N cites against committed snapshot N
+//	               (time travel; 404 on unknown versions)
 //	POST /commit   {"message": "..."}
 //	GET  /versions commit history
 //	GET  /views    registered citation views
 //	GET  /healthz  liveness + basic shape
 //	GET  /metrics  Prometheus text format counters
+//
+// Errors are classified by the engine's typed sentinels: a query that
+// does not parse answers 400 (cq.ErrBadQuery), an unknown version 404
+// (fixity.ErrUnknownVersion), a deadline 504, an engine panic 500, and
+// semantic failures — no rewriting, unknown relation — 422.
 //
 // Responses embed format.Record's canonical JSON encoding, so a citation
 // rendered on the wire is byte-compatible with format.JSON output.
@@ -29,6 +36,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -36,6 +44,7 @@ import (
 
 	"repro/internal/citation"
 	"repro/internal/core"
+	"repro/internal/cq"
 	"repro/internal/fixity"
 	"repro/internal/format"
 )
@@ -62,6 +71,13 @@ type Options struct {
 	// so engine work stays bounded even when clients time out mid-compute.
 	// 0 means 4×GOMAXPROCS; negative disables admission control.
 	MaxInFlight int
+	// ComputeTimeout bounds one detached cache-fill computation. It is
+	// deliberately longer than RequestTimeout: a computation that barely
+	// outlives its client should still finish and fill the cache (the
+	// next request is a hit), while a runaway enumeration is cancelled
+	// cooperatively through the engine instead of burning a worker
+	// forever. 0 means 4×RequestTimeout; negative disables the bound.
+	ComputeTimeout time.Duration
 }
 
 // Server serves a core.System over HTTP. Create with New, mount via
@@ -76,10 +92,11 @@ type Server struct {
 	httpSrv *http.Server
 	sem     chan struct{} // admission control; nil = unlimited
 
-	// citer computes a batch of citations with per-query errors. It
-	// defaults to sys.CiteEach; tests substitute instrumented or slow
-	// implementations.
-	citer func(queries []string) ([]*core.Citation, []error)
+	// citer computes a batch of citations with per-query errors, against
+	// the head when version is 0 or the committed snapshot otherwise. It
+	// defaults to sys.CiteEachContext (+ AtVersion); tests substitute
+	// instrumented or slow implementations.
+	citer func(ctx context.Context, queries []string, version fixity.Version) ([]*core.Citation, []error)
 
 	// computeWG tracks detached cache-fill computations so Shutdown can
 	// wait for them after the HTTP listener drains.
@@ -99,6 +116,9 @@ func New(sys *core.System, opts Options) *Server {
 	if opts.MaxInFlight == 0 {
 		opts.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
 	}
+	if opts.ComputeTimeout == 0 && opts.RequestTimeout > 0 {
+		opts.ComputeTimeout = 4 * opts.RequestTimeout
+	}
 	s := &Server{
 		sys:     sys,
 		opts:    opts,
@@ -106,7 +126,12 @@ func New(sys *core.System, opts Options) *Server {
 		metrics: newServerMetrics([]string{"cite", "commit", "versions", "views", "healthz", "metrics"}),
 		mux:     http.NewServeMux(),
 	}
-	s.citer = sys.CiteEach
+	s.citer = func(ctx context.Context, queries []string, version fixity.Version) ([]*core.Citation, []error) {
+		if version > 0 {
+			return sys.CiteEachContext(ctx, queries, core.AtVersion(version))
+		}
+		return sys.CiteEachContext(ctx, queries)
+	}
 	if opts.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, opts.MaxInFlight)
 	}
@@ -236,12 +261,37 @@ type citeRequest struct {
 }
 
 // citeResponse is the POST /cite reply. Result is set for single-query
-// requests, Results for batches.
+// requests, Results for batches. Version is the latest committed store
+// version for head requests, or the requested version for ?version=
+// (time-travel) requests.
 type citeResponse struct {
 	Epoch   int64        `json:"epoch"`
-	Version int          `json:"version"` // latest committed store version
+	Version int          `json:"version"`
 	Result  *CiteResult  `json:"result,omitempty"`
 	Results []CiteResult `json:"results,omitempty"`
+}
+
+// errEngineFault marks failures that are the server's own (an engine
+// panic), not the client's; statusForError maps it to 500.
+var errEngineFault = errors.New("server: engine fault")
+
+// statusForError maps an engine error onto the HTTP status taxonomy:
+// unparsable query 400, unknown version 404, deadline/cancellation 504,
+// engine fault 500, and semantic failures (no rewriting over the views,
+// unknown relation) 422.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, cq.ErrBadQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, fixity.ErrUnknownVersion):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, errEngineFault):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
@@ -253,6 +303,22 @@ func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
 	}
 	// Decode and validate before admission: malformed requests answer 400
 	// immediately instead of queueing for (and wasting) a /cite slot.
+	var version fixity.Version
+	if vs := r.URL.Query().Get("version"); vs != "" {
+		n, err := strconv.Atoi(vs)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid version %q: want a positive integer", vs))
+			return
+		}
+		version = fixity.Version(n)
+		// Reject unknown versions before admission and before touching the
+		// cache: the whole batch targets one snapshot, so the check is one
+		// store lookup, and the taxonomy makes it a 404.
+		if _, err := s.sys.Store().At(version); err != nil {
+			writeError(w, statusForError(err), err.Error())
+			return
+		}
+	}
 	var req citeRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -283,7 +349,7 @@ func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	results, epoch, storeVersion, timedOut := s.citeBatch(ctx, queries, slot)
+	results, errs, epoch, respVersion, timedOut := s.citeBatch(ctx, queries, version, slot)
 	if timedOut {
 		s.metrics.timeouts.Add(1)
 	}
@@ -292,15 +358,11 @@ func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
 	// the envelope claim a version newer than the results it carries.
 	resp := citeResponse{
 		Epoch:   epoch,
-		Version: int(storeVersion),
+		Version: int(respVersion),
 	}
 	if single {
-		if results[0].Error != "" {
-			status := http.StatusUnprocessableEntity
-			if timedOut {
-				status = http.StatusGatewayTimeout
-			}
-			writeError(w, status, results[0].Error)
+		if errs[0] != nil {
+			writeError(w, statusForError(errs[0]), results[0].Error)
 			return
 		}
 		resp.Result = &results[0]
@@ -350,19 +412,32 @@ type pendingResult struct {
 }
 
 // citeBatch resolves a batch of queries through the coalescing cache.
-// Owned computations run in a detached goroutine (holding a reference to
-// the caller's admission slot) so a caller timing out cannot strand
-// coalesced waiters: the computation always completes, publishes to
-// every waiter, and fills the cache. The returned epoch/storeVersion
-// pair is the consistent snapshot the batch was keyed on; timedOut
-// reports whether any position was abandoned at the context deadline.
-func (s *Server) citeBatch(ctx context.Context, queries []string, slot *slotRef) (results []CiteResult, epoch int64, storeVersion fixity.Version, timedOut bool) {
-	epoch, storeVersion = s.sys.Versions()
+// Head batches (version 0) key on the epoch snapshot; version-pinned
+// batches key on the requested version, whose entries are immutable and
+// survive commits. Owned computations run in a detached goroutine
+// (holding a reference to the caller's admission slot) so a caller
+// timing out cannot strand coalesced waiters: the computation publishes
+// to every waiter and fills the cache. The detached run carries its own
+// deadline (Options.ComputeTimeout, detached from the client
+// connection), which the engine's cooperative cancellation enforces — a
+// runaway enumeration stops at the deadline instead of burning a worker
+// indefinitely. errs reports each failed position's typed error (nil on
+// success) for status mapping; timedOut reports whether any position
+// was abandoned at the request deadline.
+func (s *Server) citeBatch(ctx context.Context, queries []string, version fixity.Version, slot *slotRef) (results []CiteResult, errs []error, epoch int64, respVersion fixity.Version, timedOut bool) {
+	var config int64
+	epoch, config, respVersion = s.sys.Epochs()
 	results = make([]CiteResult, len(queries))
+	errs = make([]error, len(queries))
 	var pending []pendingResult
 	var owned []pendingResult
 	for i, q := range queries {
 		k := cacheKey{epoch: epoch, query: q}
+		if version > 0 {
+			// Versioned results are immutable under commits but not under
+			// configuration changes; the config generation keys that out.
+			k = cacheKey{epoch: config, version: version, query: q}
+		}
 		val, cached, cl, owner := s.cache.acquire(k)
 		if cached {
 			results[i] = val
@@ -385,24 +460,34 @@ func (s *Server) citeBatch(ctx context.Context, queries []string, slot *slotRef)
 		go func() {
 			defer s.computeWG.Done()
 			defer slot.done()
+			// The computation is shared by every coalesced waiter, so it
+			// must not die with the requesting client's connection; it
+			// gets its own (longer) deadline instead, which cancels the
+			// engine cooperatively.
+			compCtx := context.Background()
+			if s.opts.ComputeTimeout > 0 {
+				var cancel context.CancelFunc
+				compCtx, cancel = context.WithTimeout(compCtx, s.opts.ComputeTimeout)
+				defer cancel()
+			}
 			completed := 0
 			// This goroutine runs outside net/http's per-connection
 			// recover: an engine panic must become a per-query error (and
 			// release every coalesced waiter), not a process crash.
 			defer func() {
 				if r := recover(); r != nil {
-					err := fmt.Errorf("server: citation panicked: %v", r)
+					err := fmt.Errorf("%w: citation panicked: %v", errEngineFault, r)
 					for _, p := range owned[completed:] {
 						s.cache.complete(p.key, p.call, CiteResult{}, err)
 					}
 				}
 			}()
-			cites, errs := s.citer(batch)
+			cites, cerrs := s.citer(compCtx, batch, version)
 			for j, p := range owned {
 				var val CiteResult
-				err := errs[j]
+				err := cerrs[j]
 				if err == nil && cites[j] == nil {
-					err = errors.New("server: citer returned no citation")
+					err = fmt.Errorf("%w: citer returned no citation", errEngineFault)
 				}
 				if err == nil {
 					val = NewCiteResult(batch[j], cites[j])
@@ -419,6 +504,7 @@ func (s *Server) citeBatch(ctx context.Context, queries []string, slot *slotRef)
 		case <-p.call.done:
 			if p.call.err != nil {
 				results[p.idx] = CiteResult{Query: queries[p.idx], Error: p.call.err.Error()}
+				errs[p.idx] = p.call.err
 				continue
 			}
 			results[p.idx] = p.call.val
@@ -433,9 +519,13 @@ func (s *Server) citeBatch(ctx context.Context, queries []string, slot *slotRef)
 				Query: queries[p.idx],
 				Error: "deadline exceeded: " + ctx.Err().Error(),
 			}
+			errs[p.idx] = ctx.Err()
 		}
 	}
-	return results, epoch, storeVersion, timedOut
+	if version > 0 {
+		respVersion = version
+	}
+	return results, errs, epoch, respVersion, timedOut
 }
 
 // commitRequest is the POST /commit body.
@@ -463,9 +553,10 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	// CommitVersioned pairs the commit with the epoch it produced; a
 	// racing second commit cannot make this response claim its epoch.
 	info, epoch := s.sys.CommitVersioned(req.Message)
-	// The epoch bump already orphans every cached key; purge to release
-	// the memory immediately.
-	s.cache.purge()
+	// The epoch bump already orphans every epoch-keyed entry; purge them
+	// to release the memory immediately. Version-pinned entries are
+	// immutable results and deliberately survive the commit.
+	s.cache.purgeEpochKeyed()
 	writeJSON(w, http.StatusOK, struct {
 		Epoch int64 `json:"epoch"`
 		versionInfo

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fixity"
 	"repro/internal/format"
 	"repro/internal/spec"
 	"repro/internal/value"
@@ -162,9 +163,9 @@ func TestConcurrentCiteComputesOnce(t *testing.T) {
 	srv, ts := paperServer(t, Options{})
 	var computations atomic.Int64
 	inner := srv.citer
-	srv.citer = func(queries []string) ([]*core.Citation, []error) {
+	srv.citer = func(ctx context.Context, queries []string, v fixity.Version) ([]*core.Citation, []error) {
 		computations.Add(int64(len(queries)))
-		return inner(queries)
+		return inner(ctx, queries, v)
 	}
 
 	const clients = 24
@@ -320,7 +321,11 @@ func TestCiteRequestValidation(t *testing.T) {
 		{"both fields", `{"query":"q","queries":["q"]}`, http.StatusBadRequest},
 		{"not json", `not json`, http.StatusBadRequest},
 		{"unknown field", `{"qwery":"q"}`, http.StatusBadRequest},
-		{"bad query", `{"query":"((("}`, http.StatusUnprocessableEntity},
+		// The error taxonomy: an unparsable query is the client's fault
+		// (cq.ErrBadQuery, 400); a well-formed query with no rewriting
+		// over the registered views is semantically unprocessable (422).
+		{"bad query", `{"query":"((("}`, http.StatusBadRequest},
+		{"no rewriting", `{"query":"Q(X) :- Nowhere(X)"}`, http.StatusUnprocessableEntity},
 	}
 	for _, tc := range cases {
 		resp, err := client.Post(ts.URL+"/cite", "application/json", strings.NewReader(tc.body))
@@ -445,11 +450,11 @@ func TestRequestTimeout(t *testing.T) {
 	inner := srv.citer
 	release := make(chan struct{})
 	var delayed atomic.Bool
-	srv.citer = func(queries []string) ([]*core.Citation, []error) {
+	srv.citer = func(ctx context.Context, queries []string, v fixity.Version) ([]*core.Citation, []error) {
 		if delayed.CompareAndSwap(false, true) {
 			<-release // first computation outlives the request deadline
 		}
-		return inner(queries)
+		return inner(ctx, queries, v)
 	}
 
 	resp, body := postJSON(t, ts.Client(), ts.URL+"/cite", citeRequest{Query: paperQuery})
@@ -510,11 +515,11 @@ func TestCiterPanicIsContained(t *testing.T) {
 	srv, ts := paperServer(t, Options{})
 	inner := srv.citer
 	var panicked atomic.Bool
-	srv.citer = func(queries []string) ([]*core.Citation, []error) {
+	srv.citer = func(ctx context.Context, queries []string, v fixity.Version) ([]*core.Citation, []error) {
 		if panicked.CompareAndSwap(false, true) {
 			panic("engine bug")
 		}
-		return inner(queries)
+		return inner(ctx, queries, v)
 	}
 
 	resp, body := postJSON(t, ts.Client(), ts.URL+"/cite", citeRequest{Query: paperQuery})
@@ -570,5 +575,133 @@ func TestGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Serve did not return after Shutdown")
+	}
+}
+
+// TestVersionedCite covers time travel over the wire: POST /cite?version=N
+// answers the citation pinned at N, keyed in a cache partition commits
+// never invalidate, while unknown or malformed versions answer 404/400.
+func TestVersionedCite(t *testing.T) {
+	srv, ts := paperServer(t, Options{})
+	client := ts.Client()
+
+	// Move the head on: v2 commits new content, so head cites pin to 2.
+	if err := srv.System().Database().Insert("Family",
+		value.Int(13), value.String("Galanin"), value.String("C3")); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, client, ts.URL+"/commit", map[string]string{"message": "v2"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("commit: %d %s", resp.StatusCode, body)
+	}
+
+	// Time travel to version 1: pin and envelope name version 1.
+	resp, body = postJSON(t, client, ts.URL+"/cite?version=1", citeRequest{Query: paperQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("versioned cite: %d %s", resp.StatusCode, body)
+	}
+	var out citeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != 1 {
+		t.Errorf("envelope version = %d, want 1", out.Version)
+	}
+	if out.Result.Pin == nil || out.Result.Pin.Version != 1 {
+		t.Errorf("pin = %+v, want version 1", out.Result.Pin)
+	}
+	if out.Result.Cache != "miss" {
+		t.Errorf("first versioned cite cache = %q, want miss", out.Result.Cache)
+	}
+	v1Text := out.Result.Text
+
+	// The head cite pins to the latest version, under a separate cache key.
+	resp, body = postJSON(t, client, ts.URL+"/cite", citeRequest{Query: paperQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("head cite: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != 2 || out.Result.Pin == nil || out.Result.Pin.Version != 2 {
+		t.Errorf("head cite version = %d pin %+v, want 2", out.Version, out.Result.Pin)
+	}
+
+	// A further commit invalidates head results but not versioned ones:
+	// the next ?version=1 cite is still a cache hit with identical bytes.
+	resp, body = postJSON(t, client, ts.URL+"/commit", map[string]string{"message": "v3"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("commit: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, client, ts.URL+"/cite?version=1", citeRequest{Query: paperQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("versioned cite after commit: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Cache != "hit" {
+		t.Errorf("versioned cite after commit cache = %q, want hit (immutable results survive commits)", out.Result.Cache)
+	}
+	if out.Result.Text != v1Text {
+		t.Errorf("versioned result drifted across commits:\n got %s\nwant %s", out.Result.Text, v1Text)
+	}
+
+	// Batches accept the same parameter; every member pins to it.
+	resp, body = postJSON(t, client, ts.URL+"/cite?version=1",
+		citeRequest{Queries: []string{paperQuery, "Q(Text) :- FamilyIntro(FID, Text)"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("versioned batch: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range out.Results {
+		if r.Error != "" || r.Pin == nil || r.Pin.Version != 1 {
+			t.Errorf("batch member %d: error %q pin %+v, want version 1", i, r.Error, r.Pin)
+		}
+	}
+
+	// Error taxonomy on the version axis.
+	resp, body = postJSON(t, client, ts.URL+"/cite?version=99", citeRequest{Query: paperQuery})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown version: %d %s, want 404", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, client, ts.URL+"/cite?version=0", citeRequest{Query: paperQuery})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("version=0: %d %s, want 400", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, client, ts.URL+"/cite?version=abc", citeRequest{Query: paperQuery})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("version=abc: %d %s, want 400", resp.StatusCode, body)
+	}
+}
+
+// TestSetPolicyInvalidatesVersionedCache pins the configuration half of
+// the versioned-cache contract: commits never invalidate version-pinned
+// results (immutable snapshots), but SetPolicy — which changes what a
+// citation of even an old version contains — must orphan them.
+func TestSetPolicyInvalidatesVersionedCache(t *testing.T) {
+	srv, ts := paperServer(t, Options{})
+	client := ts.Client()
+
+	_, body := postJSON(t, client, ts.URL+"/cite?version=1", citeRequest{Query: paperQuery})
+	var out citeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Cache != "miss" {
+		t.Fatalf("first versioned cite cache = %q, want miss", out.Result.Cache)
+	}
+
+	pol := srv.System().Generator().Policy()
+	srv.System().SetPolicy(pol) // same policy, but the config generation moves
+
+	_, body = postJSON(t, client, ts.URL+"/cite?version=1", citeRequest{Query: paperQuery})
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Cache != "miss" {
+		t.Errorf("versioned cite after SetPolicy cache = %q, want miss (config change must orphan versioned entries)", out.Result.Cache)
 	}
 }

@@ -28,6 +28,21 @@ import (
 )
 
 func BenchmarkServerCite(b *testing.B) {
+	benchServerCite(b, "/cite")
+}
+
+// BenchmarkVersionedCite is BenchmarkServerCite over the time-travel
+// endpoint (POST /cite?version=1): the request path adds the version
+// parse + snapshot lookup, keys the result cache by version instead of
+// epoch, and on cold paths cites against the committed snapshot through
+// the generator's version-keyed caches. Tracked beside ServerCite in
+// BENCH_eval.json so versioned serving cannot silently regress against
+// head serving.
+func BenchmarkVersionedCite(b *testing.B) {
+	benchServerCite(b, "/cite?version=1")
+}
+
+func benchServerCite(b *testing.B, path string) {
 	sys, err := experiments.GtoPdbSystem(300)
 	if err != nil {
 		b.Fatal(err)
@@ -47,7 +62,7 @@ func BenchmarkServerCite(b *testing.B) {
 		bodies[i] = body
 	}
 	post := func(client *http.Client, i int) error {
-		resp, err := client.Post(ts.URL+"/cite", "application/json",
+		resp, err := client.Post(ts.URL+path, "application/json",
 			bytes.NewReader(bodies[i%len(bodies)]))
 		if err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"repro/internal/citestore"
 	"repro/internal/core"
 	"repro/internal/cq"
+	"repro/internal/durable"
 	"repro/internal/eval"
 	"repro/internal/fixity"
 	"repro/internal/format"
@@ -251,6 +252,52 @@ type Expr = citeexpr.Expr
 // ExprSize counts the distinct citation atoms of an expression — the
 // paper's estimated citation size.
 func ExprSize(e Expr) int { return citeexpr.Size(e) }
+
+// Durability: a System can journal every mutation to a segmented,
+// checksummed write-ahead commit log and recover the exact fixity
+// version history — same version numbers, same snapshot contents, same
+// digests — after a crash (DESIGN.md §8).
+//
+//	sys, _ := datacitation.LoadSpec(specText)
+//	_ = sys.EnableDurability(dir, datacitation.DurableOptions{})
+//	sys.Commit("v1")                      // journaled
+//	sys.Insert("R", tuples)               // journaled batch mutation
+//	...
+//	sys, _ = datacitation.OpenSystem(dir, datacitation.DurableOptions{})
+type (
+	// DurableOptions configures the commit log and checkpointing.
+	DurableOptions = core.DurableOptions
+	// DurabilityStats is the durability gauge set (/metrics).
+	DurabilityStats = core.DurabilityStats
+	// FsyncPolicy selects when log appends reach stable storage.
+	FsyncPolicy = durable.FsyncPolicy
+)
+
+// The write-ahead log fsync policies.
+const (
+	// FsyncAlways syncs after every log append.
+	FsyncAlways = durable.FsyncAlways
+	// FsyncOnCommit syncs at commit and configuration entries (default).
+	FsyncOnCommit = durable.FsyncOnCommit
+	// FsyncInterval syncs on a background timer.
+	FsyncInterval = durable.FsyncInterval
+)
+
+// ParseFsyncPolicy parses "always", "on-commit" or "interval".
+var ParseFsyncPolicy = durable.ParseFsyncPolicy
+
+// ErrCorrupt marks log or checkpoint bytes that fail structural
+// validation during recovery. Classify with errors.Is.
+var ErrCorrupt = durable.ErrCorrupt
+
+// OpenSystem recovers a System from a durable data directory and (unless
+// opts.ReadOnly) keeps journaling to it. See core.Open.
+func OpenSystem(dir string, opts DurableOptions) (*System, error) { return core.Open(dir, opts) }
+
+// PolicyByName resolves the named combination policies ("minsize",
+// "maxcoverage", "all") used by the command-line tools and the commit
+// log's SetPolicy entries.
+var PolicyByName = core.PolicyByName
 
 // Fixity types for version-pinned citations.
 type (

@@ -6,12 +6,19 @@
 //	citegen -spec db.dcs -query "Q(FName) :- Family(FID, FName, Desc)" \
 //	        [-format text|bibtex|ris|xml|json] [-policy minsize|maxcoverage|all] \
 //	        [-partial] [-pruned] [-explain] [-json] [-at N]
+//	citegen -open dir -query "..." [same flags]
 //
 // -at N cites against committed version N instead of the head — the
 // loaded state commits as version 1, so -at is useful with spec files
 // that script further commits, and it exercises exactly the
 // System.CiteContext(…, AtVersion(N)) path a server runs for
 // POST /cite?version=N.
+//
+// -open dir starts from a durable data directory (one citeserved built
+// with -data-dir) instead of a spec: the whole committed version history
+// is recovered read-only — nothing is committed and the directory is not
+// written — so -at N can re-derive the citation any pinned version
+// handed out before a crash. -spec and -open are mutually exclusive.
 //
 // -json emits the full machine-readable envelope (record, text, fixity
 // pin) that cmd/citeserved answers on POST /cite — the same citation
@@ -28,6 +35,7 @@ import (
 	"os"
 
 	datacitation "repro"
+	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/spec"
 )
@@ -36,6 +44,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("citegen: ")
 	specPath := flag.String("spec", "", "path to the spec file (schema + tuples + views)")
+	openDir := flag.String("open", "", "durable data directory to recover (read-only) instead of a spec")
 	querySrc := flag.String("query", "", "conjunctive query to cite")
 	outFormat := flag.String("format", "text", "output format: text, bibtex, ris, xml, json")
 	polName := flag.String("policy", "minsize", "+R policy: minsize, maxcoverage, all")
@@ -47,38 +56,60 @@ func main() {
 	atVersion := flag.Int("at", 0, "cite against committed version N instead of the head (0 = head)")
 	flag.Parse()
 
-	if *specPath == "" || *querySrc == "" {
+	if *specPath != "" && *openDir != "" {
+		log.Fatal("-spec and -open are mutually exclusive: pass exactly one source")
+	}
+	if (*specPath == "" && *openDir == "") || *querySrc == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	raw, err := os.ReadFile(*specPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sys, err := spec.Load(string(raw))
-	if err != nil {
-		log.Fatal(err)
+	p, ok := core.PolicyByName(*polName)
+	if !ok {
+		log.Fatalf("unknown policy %q", *polName)
 	}
 
-	p := datacitation.DefaultPolicy()
-	switch *polName {
-	case "minsize":
-		p.AltR = datacitation.SelectMinSize
-	case "maxcoverage":
-		p.AltR = datacitation.SelectMaxCoverage
-	case "all":
-		p.AltR = datacitation.SelectAllBranches
-	default:
-		log.Fatalf("unknown policy %q", *polName)
+	var sys *datacitation.System
+	if *openDir != "" {
+		var err error
+		sys, err = core.Open(*openDir, core.DurableOptions{ReadOnly: true})
+		if err != nil {
+			log.Fatalf("recovering %s: %v", *openDir, err)
+		}
+	} else {
+		raw, err := os.ReadFile(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err = spec.Load(string(raw))
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	sys.Generator().AllowPartial = *partial
 	sys.Generator().CostPruned = *pruned
-	sys.Commit("citegen load")
+	// Spec-loaded state commits so the citation carries a pin; a
+	// recovered directory already has its committed history and must not
+	// gain a version from a read-only tool.
+	if *specPath != "" {
+		sys.Commit("citegen load")
+	}
 
 	// The policy travels as a per-call option (the context-first request
 	// API) instead of mutating the system default; -at selects the target
-	// version the same way POST /cite?version=N does.
-	opts := []datacitation.CiteOption{datacitation.WithPolicy(p)}
+	// version the same way POST /cite?version=N does. With -open, the
+	// recovered (journaled) default policy governs unless -policy was
+	// given explicitly — silently forcing the flag default would re-derive
+	// a different citation than the one the directory's server pinned.
+	var opts []datacitation.CiteOption
+	explicitPolicy := *specPath != ""
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "policy" {
+			explicitPolicy = true
+		}
+	})
+	if explicitPolicy {
+		opts = append(opts, datacitation.WithPolicy(p))
+	}
 	if *atVersion > 0 {
 		opts = append(opts, datacitation.AtVersion(datacitation.Version(*atVersion)))
 	}

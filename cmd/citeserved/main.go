@@ -3,23 +3,40 @@
 // service against its live, evolving database, and clients retrieve
 // citations for the query results they used.
 //
-// It loads a spec file (see internal/spec), commits the loaded state as
-// version 1 so every citation carries a fixity pin, and serves the
-// internal/server endpoints until SIGINT/SIGTERM, then drains in-flight
-// requests and exits.
+// It starts from either a spec file (see internal/spec) or a durable data
+// directory, commits the loaded state as version 1 so every citation
+// carries a fixity pin, and serves the internal/server endpoints until
+// SIGINT/SIGTERM, then drains in-flight requests, checkpoints (when
+// durable) and exits.
 //
 // Usage:
 //
-//	citeserved -spec db.dcs [-addr :8377] [-cache 1024] [-timeout 30s]
-//	           [-compute-timeout 0] [-max-inflight 0] [-parallelism 0]
-//	           [-policy minsize|maxcoverage|all] [-no-commit]
+//	citeserved -spec db.dcs [-data-dir dir] [-addr :8377] [-cache 1024]
+//	           [-timeout 30s] [-compute-timeout 0] [-max-inflight 0]
+//	           [-parallelism 0] [-policy minsize|maxcoverage|all]
+//	           [-fsync always|on-commit|interval] [-checkpoint-every 0]
+//	           [-no-commit]
+//	citeserved -open dir [same serving flags]
+//
+// Durability: -spec with -data-dir initializes the directory from the
+// spec and journals every subsequent mutation (POST /ingest batches,
+// commits, view and policy changes) to a checksummed write-ahead log, so
+// the whole version history survives a crash. -open recovers from such a
+// directory — same version numbers, same snapshot contents, same digests
+// — and continues journaling to it. Exactly one of -spec and -open must
+// be given: a spec names a fresh state, a directory names a history, and
+// silently combining them would fork that history.
 //
 // Quickstart against the repository's paper fixture:
 //
-//	citeserved -spec testdata/paper.dcs &
+//	citeserved -spec testdata/paper.dcs -data-dir ./data &
 //	curl -s localhost:8377/healthz
-//	curl -s -X POST localhost:8377/cite \
-//	     -d '{"query": "Q(FName) :- Family(FID, FName, Desc)"}'
+//	curl -s -X POST localhost:8377/ingest \
+//	     -d '{"relation": "Family", "insert": [[99, "Amylin", "A1"]]}'
+//	curl -s -X POST localhost:8377/commit -d '{"message": "add amylin"}'
+//	kill -9 %1   # crash: versions survive on disk
+//	citeserved -open ./data &
+//	curl -s localhost:8377/versions   # identical history
 //
 // Time travel: after further commits (POST /commit), any committed
 // version can still be cited — the result is byte-identical to the
@@ -43,6 +60,8 @@ import (
 	"time"
 
 	datacitation "repro"
+	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/server"
 	"repro/internal/spec"
 )
@@ -51,48 +70,93 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("citeserved: ")
 	specPath := flag.String("spec", "", "path to the spec file (schema + tuples + views)")
+	dataDir := flag.String("data-dir", "", "initialize this durable data directory from -spec and journal all mutations to it")
+	openDir := flag.String("open", "", "recover from a durable data directory instead of a spec (mutually exclusive with -spec/-data-dir)")
 	addr := flag.String("addr", ":8377", "listen address")
 	cacheSize := flag.Int("cache", 0, "result-cache entries (0 = default 1024)")
 	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = default 30s, negative = none)")
 	computeTimeout := flag.Duration("compute-timeout", 0, "detached cache-fill computation deadline (0 = 4×timeout, negative = none)")
-	maxInFlight := flag.Int("max-inflight", 0, "admitted concurrent /cite requests (0 = 4×GOMAXPROCS, negative = unlimited)")
+	maxInFlight := flag.Int("max-inflight", 0, "admitted concurrent /cite+/ingest requests (0 = 4×GOMAXPROCS, negative = unlimited)")
 	parallelism := flag.Int("parallelism", 0, "engine worker-pool bound (0 = GOMAXPROCS)")
 	polName := flag.String("policy", "minsize", "+R policy: minsize, maxcoverage, all")
+	fsyncMode := flag.String("fsync", "on-commit", "write-ahead log sync policy: always, on-commit, interval")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "automatic checkpoint after every N commits (0 = only at shutdown)")
 	noCommit := flag.Bool("no-commit", false, "do not commit the loaded state (citations carry no fixity pin until POST /commit)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period")
 	flag.Parse()
 
-	if *specPath == "" {
+	switch {
+	case *specPath != "" && *openDir != "":
+		log.Fatal("-spec and -open are mutually exclusive: a spec names a fresh state, a data directory names an existing history; pass exactly one")
+	case *openDir != "" && *dataDir != "":
+		log.Fatal("-open and -data-dir are mutually exclusive: -open already names the data directory it keeps journaling to")
+	case *specPath == "" && *openDir == "":
 		flag.Usage()
 		os.Exit(2)
 	}
-	raw, err := os.ReadFile(*specPath)
+	fsync, err := durable.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := spec.Load(string(raw))
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	p := datacitation.DefaultPolicy()
-	switch *polName {
-	case "minsize":
-		p.AltR = datacitation.SelectMinSize
-	case "maxcoverage":
-		p.AltR = datacitation.SelectMaxCoverage
-	case "all":
-		p.AltR = datacitation.SelectAllBranches
-	default:
+	if _, ok := core.PolicyByName(*polName); !ok {
 		log.Fatalf("unknown policy %q", *polName)
 	}
-	sys.SetPolicy(p)
+	durOpts := core.DurableOptions{Fsync: fsync, CheckpointEvery: *checkpointEvery}
+
+	var sys *datacitation.System
+	switch {
+	case *openDir != "":
+		start := time.Now()
+		sys, err = core.Open(*openDir, durOpts)
+		if err != nil {
+			log.Fatalf("recovering %s: %v", *openDir, err)
+		}
+		// -policy only overrides the recovered (journaled) default when
+		// the operator explicitly asked for it.
+		explicitPolicy := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "policy" {
+				explicitPolicy = true
+			}
+		})
+		if explicitPolicy {
+			if err := sys.SetPolicyNamed(*polName); err != nil {
+				log.Fatal(err)
+			}
+		}
+		stats, _ := sys.Durability()
+		log.Printf("recovered %s in %s: version %d (%d tuples at head), %d views",
+			*openDir, time.Since(start).Round(time.Millisecond), stats.RecoveredVersion,
+			sys.Database().Size(), sys.Registry().Len())
+	default:
+		raw, err := os.ReadFile(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err = spec.Load(string(raw))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.SetPolicyNamed(*polName); err != nil {
+			log.Fatal(err)
+		}
+		if *dataDir != "" {
+			if durable.Initialized(*dataDir) {
+				log.Fatalf("%s is already a data directory; recover from it with -open %s (without -spec) instead of re-initializing", *dataDir, *dataDir)
+			}
+			if err := sys.EnableDurability(*dataDir, durOpts); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("journaling to %s (fsync %s)", *dataDir, fsync)
+		}
+		if !*noCommit {
+			info := sys.Commit("citeserved load: " + *specPath)
+			log.Printf("committed loaded state as version %d (%d tuples)", info.Version, info.Tuples)
+		}
+	}
+
 	if *parallelism > 0 {
 		sys.SetParallelism(*parallelism)
-	}
-	if !*noCommit {
-		info := sys.Commit("citeserved load: " + *specPath)
-		log.Printf("committed loaded state as version %d (%d tuples)", info.Version, info.Tuples)
 	}
 
 	srv := server.New(sys, server.Options{
@@ -106,8 +170,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	source := *specPath
+	if source == "" {
+		source = *openDir
+	}
 	log.Printf("serving %s on http://%s (%d views, epoch %d)",
-		*specPath, ln.Addr(), sys.Registry().Len(), sys.Version())
+		source, ln.Addr(), sys.Registry().Len(), sys.Version())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -125,6 +193,16 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if stats, ok := sys.Durability(); ok && stats.Enabled {
+		if err := sys.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		} else {
+			log.Print("checkpointed")
+		}
+		if err := sys.CloseDurability(); err != nil {
+			log.Printf("closing log: %v", err)
+		}
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)

@@ -44,8 +44,18 @@
 //	srv := datacitation.NewServer(sys, datacitation.ServerOptions{})
 //	go srv.ListenAndServe(":8377")
 //
+// To make the version history survive restarts, attach a durable data
+// directory — every mutation is then journaled to a checksummed
+// write-ahead log before it touches storage, and OpenSystem recovers
+// the exact history (same versions, same contents, same digests) after
+// a crash:
+//
+//	_ = sys.EnableDurability(dir, datacitation.DurableOptions{})
+//	...
+//	sys, err := datacitation.OpenSystem(dir, datacitation.DurableOptions{})
+//
 // The package is a façade: the implementation lives in internal/
 // subpackages (cq, rewrite, contain, semiring, eval, citeexpr, policy,
-// citation, fixity, evolution, format, storage, server), documented in
-// DESIGN.md.
+// citation, fixity, evolution, format, storage, durable, server),
+// documented in DESIGN.md.
 package datacitation

@@ -13,10 +13,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/citation"
 	"repro/internal/citestore"
 	"repro/internal/cq"
+	"repro/internal/durable"
 	"repro/internal/fixity"
 	"repro/internal/format"
 	"repro/internal/policy"
@@ -53,6 +55,21 @@ type System struct {
 	store *fixity.Store
 	reg   *citation.Registry
 	gen   *citation.Generator
+
+	// Durability (nil/zero when the system is purely in-memory; see
+	// durable.go). wal is the attached commit log: journaled mutations
+	// append to it before touching the store, all under the exclusive
+	// system lock.
+	wal              *durable.Log
+	walDir           string
+	walOpts          DurableOptions
+	readOnly         bool   // recovered with ReadOnly: journaled mutation APIs refuse
+	walGen           uint64 // head mutation generation as of the last journaled state
+	polName          string // last named default policy ("" = unnamed/default)
+	commitsSinceCkpt int
+	ckptCount        int64
+	recoveryDur      time.Duration
+	recoveredVer     fixity.Version
 }
 
 // NewSystem creates a citation-enabled database over the schema.
@@ -94,6 +111,10 @@ func (s *System) Registry() *citation.Registry { return s.reg }
 func (s *System) Generator() *citation.Generator { return s.gen }
 
 // Database returns the mutable head database.
+//
+// On a durable system, do NOT mutate it directly: direct writes bypass
+// the commit log, and the next Commit refuses to seal contents the log
+// cannot reproduce. Use the journaled System.Insert/Delete instead.
 func (s *System) Database() *storage.Database { return s.store.Head() }
 
 // Version returns the system's monotonic version token (the epoch). It
@@ -156,6 +177,11 @@ func (s *System) Epochs() (epoch, config int64, store fixity.Version) {
 // of every subsequent default-policy citation, so external result caches
 // keyed on the epoch must turn over.
 //
+// SetPolicy is NOT journaled: arbitrary policy values carry function
+// fields the commit log cannot serialize, so on a durable system the
+// change does not survive a restart. Durable systems should use
+// SetPolicyNamed, which persists.
+//
 // Deprecated: SetPolicy mutates process-global state and therefore cannot
 // serve callers that need different policies concurrently. New code
 // should pass WithPolicy to CiteContext instead and leave the default
@@ -165,6 +191,7 @@ func (s *System) SetPolicy(p policy.Policy) {
 	defer s.mu.Unlock()
 	s.epoch++
 	s.cfg++
+	s.polName = ""
 	s.gen.SetPolicy(p)
 }
 
@@ -199,10 +226,15 @@ func (s *System) parallelism() int {
 
 // DefineView parses and registers a citation view in one step: viewSrc is
 // the view query in datalog syntax; each CitationSpec pairs a citation
-// query with its field mapping.
+// query with its field mapping. On a durable system the definition is
+// journaled (in canonical query syntax) after it validates, so a
+// recovered system wakes up with the same view set.
 func (s *System) DefineView(viewSrc string, static format.Record, specs ...CitationSpec) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.readOnly {
+		return fmt.Errorf("core: system was opened read-only")
+	}
 	vq, err := cq.Parse(viewSrc)
 	if err != nil {
 		return fmt.Errorf("core: view query: %w", err)
@@ -220,6 +252,15 @@ func (s *System) DefineView(viewSrc string, static format.Record, specs ...Citat
 	}
 	if err := s.reg.Add(v); err != nil {
 		return err
+	}
+	if s.wal != nil {
+		e := durable.Entry{Type: durable.EntryDefineView, ViewSrc: vq.String(), Static: staticPairs(static)}
+		for _, c := range v.Citations {
+			e.Cites = append(e.Cites, durable.ViewCite{Query: c.Query.String(), Fields: c.Fields})
+		}
+		if _, err := s.wal.Append(e, true); err != nil {
+			return fmt.Errorf("core: journal: %w", err)
+		}
 	}
 	s.epoch++
 	s.cfg++
@@ -239,21 +280,81 @@ type CitationSpec struct {
 // always generated against a consistent cache generation. Commit is the
 // synchronization point after mutating the head database directly (for
 // incremental maintenance without commits, see package evolution).
+//
+// On a durable system the commit is journaled — version number,
+// UTC timestamp, message, tuple count and the canonical database digest
+// reach stable storage (every fsync policy syncs at commit boundaries
+// except interval mode, which syncs on its timer) before the version is
+// created — and a journaling failure panics; callers that must handle
+// disk errors gracefully use CommitVersioned.
 func (s *System) Commit(message string) fixity.VersionInfo {
-	info, _ := s.CommitVersioned(message)
+	info, _, err := s.CommitVersioned(message)
+	if err != nil {
+		panic(fmt.Sprintf("core: commit: %v", err))
+	}
 	return info
 }
 
 // CommitVersioned is Commit returning, in addition, the epoch observed
 // atomically with the commit — servers stamp commit responses with the
-// pair, which a later racing state change cannot skew.
-func (s *System) CommitVersioned(message string) (fixity.VersionInfo, int64) {
+// pair, which a later racing state change cannot skew — and any
+// journaling error. Errors are only possible on durable systems: the
+// in-memory commit itself cannot fail, but the write-ahead append (or an
+// automatic checkpoint configured with CheckpointEvery) can. When the
+// returned error wraps a checkpoint failure the commit itself has
+// already landed durably; the error is surfaced so operators see the
+// disk problem before the log grows without bound.
+func (s *System) CommitVersioned(message string) (fixity.VersionInfo, int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	info := s.store.Commit(message)
+	if s.readOnly {
+		return fixity.VersionInfo{}, s.epoch, fmt.Errorf("core: system was opened read-only")
+	}
+	var info fixity.VersionInfo
+	if s.wal == nil {
+		info = s.store.Commit(message)
+	} else {
+		head := s.store.Head()
+		// Refuse to seal contents the log cannot reproduce: a direct
+		// Database() mutation bypassed the journal, and committing its
+		// digest would make the whole directory unrecoverable at the next
+		// boot (replay rebuilds different contents and fails the digest
+		// check). Failing here is loud and immediate instead.
+		if g := head.MutationGen(); g != s.walGen {
+			return fixity.VersionInfo{}, s.epoch, fmt.Errorf(
+				"core: head was mutated outside the journaled API (direct Database() writes?); durable systems must mutate through System.Insert/Delete")
+		}
+		info = fixity.VersionInfo{
+			Version:   s.store.Latest() + 1,
+			Timestamp: time.Now().UTC(),
+			Message:   message,
+			Tuples:    head.Size(),
+		}
+		meta := durable.CommitMeta{
+			Version:   int64(info.Version),
+			Timestamp: info.Timestamp.UnixNano(),
+			Message:   info.Message,
+			Tuples:    int64(info.Tuples),
+			Digest:    fixity.DatabaseDigest(head),
+		}
+		if _, err := s.wal.Append(durable.Entry{Type: durable.EntryCommit, Commit: meta}, true); err != nil {
+			return fixity.VersionInfo{}, s.epoch, fmt.Errorf("core: journal: %w", err)
+		}
+		if err := s.store.RestoreCommit(info); err != nil {
+			return fixity.VersionInfo{}, s.epoch, err
+		}
+	}
 	s.gen.InvalidateCache()
 	s.epoch++
-	return info, s.epoch
+	if s.wal != nil && s.walOpts.CheckpointEvery > 0 {
+		s.commitsSinceCkpt++
+		if s.commitsSinceCkpt >= s.walOpts.CheckpointEvery {
+			if err := s.checkpointLocked(); err != nil {
+				return info, s.epoch, fmt.Errorf("core: checkpoint after commit %d: %w", info.Version, err)
+			}
+		}
+	}
+	return info, s.epoch, nil
 }
 
 // Citation is the complete outcome of citing a query: the structural

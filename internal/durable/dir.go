@@ -1,0 +1,102 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// manifestName is the file that marks a directory as a durable data
+// directory and records the database schema.
+const manifestName = "MANIFEST"
+
+// manifestHeader is the first line of every manifest.
+const manifestHeader = "datacitation-durable v1"
+
+// Initialized reports whether dir is an initialized durable data
+// directory (its MANIFEST exists).
+func Initialized(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// WriteManifest initializes dir (creating it if necessary) with a
+// manifest recording the schema. It refuses to overwrite an existing
+// manifest: a data directory's schema is fixed at creation.
+func WriteManifest(dir string, s *schema.Schema) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, manifestName)
+	if _, err := os.Stat(path); err == nil {
+		return fmt.Errorf("durable: %s already initialized (manifest exists)", dir)
+	}
+	var b strings.Builder
+	b.WriteString(manifestHeader)
+	b.WriteByte('\n')
+	for _, name := range s.Names() {
+		b.WriteString("relation ")
+		b.WriteString(s.Relation(name).String())
+		b.WriteByte('\n')
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(b.String()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ReadManifest parses dir's manifest back into the schema it recorded.
+func ReadManifest(dir string) (*schema.Schema, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(raw), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != manifestHeader {
+		return nil, fmt.Errorf("%w: manifest header %q", ErrCorrupt, strings.TrimSpace(firstLine(lines)))
+	}
+	s := schema.New()
+	for i, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest, ok := strings.CutPrefix(line, "relation ")
+		if !ok {
+			return nil, fmt.Errorf("%w: manifest line %d: unknown directive %q", ErrCorrupt, i+2, line)
+		}
+		rel, err := schema.ParseRelation(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: manifest line %d: %v", ErrCorrupt, i+2, err)
+		}
+		if err := s.Add(rel); err != nil {
+			return nil, fmt.Errorf("%w: manifest line %d: %v", ErrCorrupt, i+2, err)
+		}
+	}
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("%w: manifest declares no relations", ErrCorrupt)
+	}
+	return s, nil
+}
+
+func firstLine(lines []string) string {
+	if len(lines) == 0 {
+		return ""
+	}
+	return lines[0]
+}

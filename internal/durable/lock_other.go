@@ -1,0 +1,16 @@
+//go:build !unix
+
+package durable
+
+import "os"
+
+// Non-unix platforms have no flock; the writer lock degrades to a
+// best-effort marker file and single-writer discipline is on the
+// operator.
+func acquireWriterLock(dir string) (*os.File, error) { return nil, nil }
+
+func releaseWriterLock(f *os.File) {
+	if f != nil {
+		_ = f.Close()
+	}
+}

@@ -1,0 +1,40 @@
+//go:build unix
+
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockFileName is the writer lock inside a data directory. The flock is
+// advisory but every writer in this codebase takes it, and the kernel
+// releases it automatically when the holder dies — crashed processes
+// never wedge the directory.
+const lockFileName = "LOCK"
+
+// acquireWriterLock takes the directory's exclusive writer lock. A held
+// lock means another live process is journaling to this directory;
+// admitting a second writer would truncate its active segment and
+// double-assign sequence numbers, so the caller must refuse to start.
+func acquireWriterLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: %s is locked by another live writer (%v)", dir, err)
+	}
+	return f, nil
+}
+
+func releaseWriterLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	_ = f.Close()
+}

@@ -1,0 +1,541 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FsyncPolicy selects when the log forces appended bytes to stable
+// storage.
+type FsyncPolicy int
+
+// The fsync policies. The zero value is FsyncOnCommit, the default.
+const (
+	// FsyncOnCommit syncs at commit boundaries (and at configuration
+	// entries): a crash can lose head mutations appended since the last
+	// commit, but never a committed version. This is the default (and
+	// the zero value).
+	FsyncOnCommit FsyncPolicy = iota
+	// FsyncAlways syncs after every append — maximal durability, one
+	// fsync per entry.
+	FsyncAlways
+	// FsyncInterval syncs on a background timer (Options.SyncInterval):
+	// a crash can lose up to one interval of appends, commits included.
+	FsyncInterval
+)
+
+// String names the policy in the form the -fsync flag accepts.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncOnCommit:
+		return "on-commit"
+	case FsyncInterval:
+		return "interval"
+	default:
+		return fmt.Sprintf("fsync(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy parses the -fsync flag values: "always", "on-commit",
+// "interval".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "on-commit", "":
+		return FsyncOnCommit, nil
+	case "interval":
+		return FsyncInterval, nil
+	default:
+		return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, on-commit or interval)", s)
+	}
+}
+
+// LogOptions configures a Log. The zero value is usable: on-commit
+// syncing, 4 MiB segments, 100 ms sync interval.
+type LogOptions struct {
+	// Fsync selects the sync policy (zero value: FsyncOnCommit).
+	Fsync FsyncPolicy
+	// SyncInterval is the FsyncInterval timer period. 0 means 100 ms.
+	SyncInterval time.Duration
+	// SegmentBytes rolls the active segment once it exceeds this size.
+	// 0 means 4 MiB.
+	SegmentBytes int64
+}
+
+const (
+	defaultSegmentBytes = 4 << 20
+	defaultSyncInterval = 100 * time.Millisecond
+
+	segPrefix  = "seg-"
+	segSuffix  = ".wal"
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".dcx"
+)
+
+// crcTable is the Castagnoli polynomial, the standard storage CRC.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// recordHeader is [4B little-endian payload length][4B CRC32C(payload)].
+const recordHeader = 8
+
+// segName renders the file name of the segment whose first entry has the
+// given log sequence number.
+func segName(first uint64) string {
+	return fmt.Sprintf("%s%016d%s", segPrefix, first, segSuffix)
+}
+
+// parseSeqName extracts the sequence number from seg-/ckpt- file names.
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	n, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Log is the segmented append-only commit log. One process owns the log
+// for writing; Append is safe for concurrent callers.
+type Log struct {
+	dir  string
+	opts LogOptions
+
+	mu        sync.Mutex
+	f         *os.File // active segment
+	lock      *os.File // held flock on the writer lock file
+	segStart  uint64   // first LSN of the active segment
+	next      uint64   // next LSN to assign
+	segBytes  int64    // bytes written to the active segment
+	segments  int      // segment files on disk, active included
+	sinceCkpt int64    // bytes appended since the last checkpoint (or open)
+	dirty     bool     // unsynced appends pending
+	closed    bool
+	failed    error // latched fatal write/sync error; the log refuses further appends
+
+	stopSync chan struct{} // interval syncer shutdown
+	syncDone chan struct{}
+}
+
+// OpenLog opens dir's log for appending, starting a fresh segment whose
+// first entry will carry sequence number next. Starting a new segment —
+// rather than appending to the last one — guarantees appends never land
+// after a torn tail from a crashed predecessor. The directory's writer
+// lock is taken exclusively: a second live writer would truncate the
+// first one's active segment and double-assign sequence numbers, so it
+// is refused outright.
+func OpenLog(dir string, next uint64, opts LogOptions) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = defaultSyncInterval
+	}
+	lock, err := acquireWriterLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	segs, err := listSeqFiles(dir, segPrefix, segSuffix)
+	if err != nil {
+		releaseWriterLock(lock)
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, lock: lock, next: next, segments: len(segs)}
+	if err := l.rollLocked(); err != nil {
+		releaseWriterLock(lock)
+		return nil, err
+	}
+	if opts.Fsync == FsyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			l.syncLocked()
+			l.mu.Unlock()
+		case <-l.stopSync:
+			return
+		}
+	}
+}
+
+// rollLocked closes the active segment and starts a new one at the
+// current next LSN. Called with mu held (or before the log is shared).
+func (l *Log) rollLocked() error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			l.failed = err
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f = nil
+	}
+	path := filepath.Join(l.dir, segName(l.next))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.segStart = l.next
+	l.segBytes = 0
+	l.segments++
+	l.dirty = false
+	return syncDir(l.dir)
+}
+
+// Append writes one entry to the log and returns its sequence number.
+// sync requests an fsync for this entry under the on-commit policy; the
+// always policy syncs regardless, the interval policy defers to its
+// timer.
+//
+// Failure is latched: a write that may have left partial bytes in the
+// segment is first rolled back with Truncate, and if even that fails —
+// or any fsync fails, after which the on-disk state is unknowable — the
+// log refuses every further append with the original error. Without the
+// latch, bytes written after a partial record would be unreachable at
+// replay (the reader stops at the first bad frame), silently discarding
+// entries the caller was told had succeeded.
+func (l *Log) Append(e Entry, sync bool) (uint64, error) {
+	payload := EncodeEntry(e)
+	if len(payload) > maxBlob {
+		// The reader enforces maxBlob; an oversized record would journal
+		// "successfully" and then be unreadable at recovery.
+		return 0, fmt.Errorf("durable: entry of %d bytes exceeds the %d-byte record bound", len(payload), maxBlob)
+	}
+	var hdr [recordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("durable: log is closed")
+	}
+	if l.failed != nil {
+		return 0, fmt.Errorf("durable: log is failed: %w", l.failed)
+	}
+	if l.segBytes >= l.opts.SegmentBytes {
+		if err := l.rollLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if err := l.writeAllLocked(hdr[:], payload); err != nil {
+		return 0, err
+	}
+	n := int64(recordHeader + len(payload))
+	l.segBytes += n
+	l.sinceCkpt += n
+	l.dirty = true
+	lsn := l.next
+	l.next++
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case FsyncOnCommit:
+		if sync {
+			if err := l.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return lsn, nil
+}
+
+// writeAllLocked writes one framed record; on failure it truncates the
+// segment back to the last good offset so the partial bytes cannot
+// shadow later records, latching the log failed if the rollback itself
+// fails.
+func (l *Log) writeAllLocked(hdr, payload []byte) error {
+	werr := func() error {
+		if _, err := l.f.Write(hdr); err != nil {
+			return err
+		}
+		_, err := l.f.Write(payload)
+		return err
+	}()
+	if werr == nil {
+		return nil
+	}
+	if terr := l.f.Truncate(l.segBytes); terr != nil {
+		l.failed = werr
+		return fmt.Errorf("durable: append failed (%v) and rollback failed (%v); log disabled", werr, terr)
+	}
+	if _, serr := l.f.Seek(l.segBytes, 0); serr != nil {
+		l.failed = werr
+		return fmt.Errorf("durable: append failed (%v) and reposition failed (%v); log disabled", werr, serr)
+	}
+	return werr
+}
+
+func (l *Log) syncLocked() error {
+	if !l.dirty || l.f == nil {
+		return nil
+	}
+	if l.failed != nil {
+		return fmt.Errorf("durable: log is failed: %w", l.failed)
+	}
+	if err := l.f.Sync(); err != nil {
+		// After a failed fsync the kernel may have dropped the dirty
+		// pages; nothing written since the last good sync can be trusted,
+		// so the log refuses further work rather than risk journaling
+		// entries after a hole.
+		l.failed = err
+		return err
+	}
+	l.dirty = false
+	return nil
+}
+
+// Sync forces all appended entries to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// Next returns the sequence number the next append will carry.
+func (l *Log) Next() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Stats is a point-in-time snapshot of the log's durability gauges.
+type Stats struct {
+	// Segments counts segment files on disk, the active one included.
+	Segments int
+	// BytesSinceCheckpoint counts log bytes appended since the last
+	// checkpoint (or since open, if none happened yet).
+	BytesSinceCheckpoint int64
+	// Fsync is the active sync policy.
+	Fsync FsyncPolicy
+}
+
+// Stats snapshots the log's gauges.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Segments: l.segments, BytesSinceCheckpoint: l.sinceCkpt, Fsync: l.opts.Fsync}
+}
+
+// Checkpointed tells the log a checkpoint covering every entry below
+// watermark has been durably written: the active segment rolls so a fresh
+// one starts at the current next LSN, every older segment is deleted, and
+// checkpoint files older than the new one are removed.
+func (l *Log) Checkpointed(watermark uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("durable: log is closed")
+	}
+	if err := l.rollLocked(); err != nil {
+		return err
+	}
+	l.segments = 1
+	l.sinceCkpt = 0
+	segs, err := listSeqFiles(l.dir, segPrefix, segSuffix)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s.seq != l.segStart {
+			if err := os.Remove(s.path); err != nil {
+				return err
+			}
+			continue
+		}
+	}
+	ckpts, err := listSeqFiles(l.dir, ckptPrefix, ckptSuffix)
+	if err != nil {
+		return err
+	}
+	for _, c := range ckpts {
+		if c.seq < watermark {
+			if err := os.Remove(c.path); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(l.dir)
+}
+
+// Close syncs and closes the active segment, stops the interval syncer,
+// and releases the directory's writer lock.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	releaseWriterLock(l.lock)
+	l.lock = nil
+	l.mu.Unlock()
+	if l.stopSync != nil {
+		close(l.stopSync)
+		<-l.syncDone
+	}
+	return err
+}
+
+// --- reading ---
+
+type seqFile struct {
+	seq  uint64
+	path string
+}
+
+// listSeqFiles returns dir's prefix/suffix-named files sorted by sequence
+// number.
+func listSeqFiles(dir, prefix, suffix string) ([]seqFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []seqFile
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		if seq, ok := parseSeqName(de.Name(), prefix, suffix); ok {
+			out = append(out, seqFile{seq: seq, path: filepath.Join(dir, de.Name())})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out, nil
+}
+
+// Replay scans dir's log segments in sequence order and invokes fn for
+// every entry with sequence number >= from, in order. It returns the
+// sequence number the next append should carry (one past the last entry
+// read).
+//
+// Torn tails are prefixes, holes are corruption: each segment is read up
+// to its first short or checksum-failed record — the crash case, since a
+// successor process always continues in a fresh segment — but if entries
+// are then found to be missing (a segment that does not begin where its
+// predecessor stopped, or a first segment starting above the checkpoint
+// watermark), the log has lost applied territory and Replay reports
+// ErrCorrupt instead of serving a mangled state. fn returning an error
+// aborts the replay with that error.
+func Replay(dir string, from uint64, fn func(lsn uint64, e Entry) error) (uint64, error) {
+	segs, err := listSeqFiles(dir, segPrefix, segSuffix)
+	if err != nil {
+		return 0, err
+	}
+	next := from
+	for _, seg := range segs {
+		// Segments wholly or partly below the checkpoint watermark may
+		// begin anywhere (leftovers of an interrupted truncation are
+		// tolerated, even damaged ones — their entries are all covered);
+		// once above it, every segment must begin exactly where the
+		// previous one stopped, or applied entries have been lost.
+		if seg.seq > from && seg.seq != next {
+			return next, fmt.Errorf("%w: log gap: segment %s starts at %d, expected %d",
+				ErrCorrupt, filepath.Base(seg.path), seg.seq, next)
+		}
+		n, err := replaySegment(seg, from, fn)
+		if err != nil {
+			return next, err
+		}
+		if end := seg.seq + n; end > next {
+			next = end
+		}
+	}
+	return next, nil
+}
+
+// replaySegment reads one segment, applying entries with lsn >= from and
+// frame-checking (but not decoding) records in checkpoint-covered
+// territory. It returns the number of well-formed records read: a short
+// or checksum-failed record ends the segment — the caller decides whether
+// the stop point is a clean prefix (the following segment continues
+// there, or nothing follows) or a hole.
+func replaySegment(seg seqFile, from uint64, fn func(lsn uint64, e Entry) error) (uint64, error) {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return 0, err
+	}
+	lsn := seg.seq
+	off := 0
+	for {
+		if len(data)-off < recordHeader {
+			break // clean end or torn header
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxBlob || len(data)-off-recordHeader < int(n) {
+			break // impossible length or torn payload
+		}
+		payload := data[off+recordHeader : off+recordHeader+int(n)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			break // torn or corrupted record; never applied
+		}
+		if lsn >= from {
+			e, err := DecodeEntry(payload)
+			if err != nil {
+				// The frame checksum passed but the entry is malformed:
+				// this cannot be a torn write, it is corruption (or an
+				// incompatible writer).
+				return lsn - seg.seq, fmt.Errorf("%s: entry %d: %w", filepath.Base(seg.path), lsn, err)
+			}
+			if err := fn(lsn, e); err != nil {
+				return lsn - seg.seq, err
+			}
+		}
+		off += recordHeader + int(n)
+		lsn++
+	}
+	return lsn - seg.seq, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Failures on platforms that cannot sync directories are
+// ignored.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// timeFromNanos converts stored Unix nanoseconds back to a UTC time, the
+// normalization every durable timestamp uses so a recovered version
+// renders byte-identically to the live one regardless of process
+// timezone.
+func timeFromNanos(n int64) time.Time { return time.Unix(0, n).UTC() }

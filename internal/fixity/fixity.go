@@ -92,6 +92,34 @@ func (st *Store) Commit(message string) VersionInfo {
 	return info
 }
 
+// RestoreCommit appends the current head snapshot as the next version
+// with caller-supplied metadata instead of freshly generated metadata —
+// the durable layer's commit primitive. The write-ahead log (and its
+// checkpoints) record each commit's version number, timestamp, message
+// and tuple count; restoring through this method reproduces the exact
+// VersionInfo the original process observed, so a recovered store's pins
+// render byte-identically to the ones handed out before the crash.
+//
+// info.Version must be exactly Latest()+1 and info.Tuples must match the
+// head's live tuple count; violations report an error and change nothing,
+// which is how recovery surfaces a log that diverged from the state it
+// claims to describe.
+func (st *Store) RestoreCommit(info VersionInfo) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if want := Version(len(st.versions) + 1); info.Version != want {
+		return fmt.Errorf("fixity: restore of version %d out of order (next is %d)", info.Version, want)
+	}
+	snap := st.head.Snapshot()
+	if n := snap.Size(); info.Tuples != n {
+		return fmt.Errorf("fixity: restored version %d records %d tuples, head has %d",
+			info.Version, info.Tuples, n)
+	}
+	st.versions = append(st.versions, snap)
+	st.infos = append(st.infos, info)
+	return nil
+}
+
 // Latest returns the most recent committed version, or 0 if none.
 func (st *Store) Latest() Version {
 	st.mu.RLock()
@@ -142,6 +170,25 @@ func Digest(tuples []storage.Tuple) string {
 	for _, k := range keys {
 		h.Write([]byte(k))
 		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// DatabaseDigest computes the canonical SHA-256 digest of a whole
+// database: relations in schema order, each hashed as its name followed
+// by its tuples in canonical (sorted) order. Two databases digest equal
+// iff every relation is equal as a set. Commit log entries carry this
+// digest so recovery can prove a rebuilt snapshot is byte-equivalent to
+// the one the original process committed.
+func DatabaseDigest(db *storage.Database) string {
+	h := sha256.New()
+	for _, name := range db.Schema().Names() {
+		h.Write([]byte(name))
+		h.Write([]byte{0xff})
+		for _, t := range db.Relation(name).SortedTuples() {
+			h.Write([]byte(t.Key()))
+			h.Write([]byte{0})
+		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

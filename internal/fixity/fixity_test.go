@@ -221,3 +221,78 @@ func TestPinRoundTripThroughString(t *testing.T) {
 		t.Error("pin with quoted constant fails round trip")
 	}
 }
+
+func TestDatabaseDigest(t *testing.T) {
+	st1 := NewStore(testSchema(t))
+	st2 := NewStore(testSchema(t))
+	// Same contents inserted in different orders digest equal.
+	if err := st1.Head().Insert("R", value.Int(1), value.String("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Head().Insert("R", value.Int(2), value.String("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Head().Insert("R", value.Int(2), value.String("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Head().Insert("R", value.Int(1), value.String("a")); err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := DatabaseDigest(st1.Head()), DatabaseDigest(st2.Head())
+	if d1 != d2 {
+		t.Fatalf("insertion order changed the digest: %s vs %s", d1, d2)
+	}
+	if err := st2.Head().Insert("R", value.Int(3), value.String("c")); err != nil {
+		t.Fatal(err)
+	}
+	if DatabaseDigest(st2.Head()) == d1 {
+		t.Fatal("different contents digest equal")
+	}
+}
+
+func TestRestoreCommit(t *testing.T) {
+	st := NewStore(testSchema(t))
+	if err := st.Head().Insert("R", value.Int(1), value.String("a")); err != nil {
+		t.Fatal(err)
+	}
+	want := VersionInfo{
+		Version:   1,
+		Timestamp: time.Unix(0, 123456789).UTC(),
+		Message:   "restored",
+		Tuples:    1,
+	}
+	if err := st.RestoreCommit(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Info(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("restored info %+v, want %+v", got, want)
+	}
+	db, err := st.At(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Size() != 1 || !db.Frozen() {
+		t.Fatalf("restored snapshot: size %d frozen %v", db.Size(), db.Frozen())
+	}
+
+	// Out-of-order versions and tuple-count mismatches are refused.
+	if err := st.RestoreCommit(VersionInfo{Version: 5, Tuples: 1}); err == nil {
+		t.Fatal("out-of-order restore accepted")
+	}
+	if err := st.RestoreCommit(VersionInfo{Version: 2, Tuples: 99}); err == nil {
+		t.Fatal("tuple-count mismatch accepted")
+	}
+	if st.Latest() != 1 {
+		t.Fatalf("failed restores changed history: latest %d", st.Latest())
+	}
+
+	// Regular commits continue after a restore.
+	info := st.Commit("v2")
+	if info.Version != 2 {
+		t.Fatalf("commit after restore got version %d", info.Version)
+	}
+}

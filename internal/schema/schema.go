@@ -111,6 +111,52 @@ func (r *Relation) String() string {
 	return b.String()
 }
 
+// ParseRelation parses the String rendering of a relation schema —
+// "Name(attr kind, ...)" with key columns marked by a trailing asterisk
+// on the attribute name — back into a Relation. String and ParseRelation
+// round-trip, which is what the durability manifest relies on to pin a
+// data directory's schema across restarts.
+func ParseRelation(src string) (*Relation, error) {
+	src = strings.TrimSpace(src)
+	open := strings.IndexByte(src, '(')
+	if open < 0 || !strings.HasSuffix(src, ")") {
+		return nil, fmt.Errorf("schema: relation syntax is Name(attr kind, ...), got %q", src)
+	}
+	name := strings.TrimSpace(src[:open])
+	inner := src[open+1 : len(src)-1]
+	var attrs []Attribute
+	var keys []string
+	if strings.TrimSpace(inner) == "" {
+		return nil, fmt.Errorf("schema: relation %s declares no attributes", name)
+	}
+	for _, part := range strings.Split(inner, ",") {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("schema: attribute %q: want \"name kind\"", strings.TrimSpace(part))
+		}
+		attrName, kindName := fields[0], fields[1]
+		if cut, ok := strings.CutSuffix(attrName, "*"); ok {
+			attrName = cut
+			keys = append(keys, attrName)
+		}
+		var kind value.Kind
+		switch kindName {
+		case "string":
+			kind = value.KindString
+		case "int":
+			kind = value.KindInt
+		case "float":
+			kind = value.KindFloat
+		case "time":
+			kind = value.KindTime
+		default:
+			return nil, fmt.Errorf("schema: attribute %s: unknown kind %q", attrName, kindName)
+		}
+		attrs = append(attrs, Attribute{Name: attrName, Kind: kind})
+	}
+	return NewRelation(name, attrs, keys...)
+}
+
 // Schema is a named collection of relation schemas.
 type Schema struct {
 	relations map[string]*Relation

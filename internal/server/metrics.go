@@ -122,4 +122,19 @@ func (m *serverMetrics) render(w *strings.Builder, s *Server) {
 	fmt.Fprintf(w, "citeserved_epoch %d\n", epoch)
 	gauge("citeserved_store_version", "Latest committed store version.")
 	fmt.Fprintf(w, "citeserved_store_version %d\n", storeVersion)
+
+	if dur, ok := s.sys.Durability(); ok {
+		gauge("citeserved_wal_segments", "Commit-log segment files on disk (active included).")
+		fmt.Fprintf(w, "citeserved_wal_segments %d\n", dur.Segments)
+		gauge("citeserved_wal_bytes_since_checkpoint", "Log bytes appended since the last checkpoint.")
+		fmt.Fprintf(w, "citeserved_wal_bytes_since_checkpoint %d\n", dur.BytesSinceCheckpoint)
+		counter("citeserved_checkpoints_total", "Checkpoints written by this process.")
+		fmt.Fprintf(w, "citeserved_checkpoints_total %d\n", dur.Checkpoints)
+		gauge("citeserved_recovery_seconds", "Duration of the boot recovery (0 = fresh start).")
+		fmt.Fprintf(w, "citeserved_recovery_seconds %g\n", dur.LastRecovery.Seconds())
+		gauge("citeserved_recovered_version", "Latest committed version rebuilt from the data directory at boot.")
+		fmt.Fprintf(w, "citeserved_recovered_version %d\n", dur.RecoveredVersion)
+		gauge("citeserved_wal_fsync_mode", "Active fsync policy (1 for the mode in the label).")
+		fmt.Fprintf(w, "citeserved_wal_fsync_mode{mode=%q} 1\n", dur.Fsync)
+	}
 }

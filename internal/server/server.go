@@ -10,14 +10,17 @@
 //
 // Endpoints:
 //
-//	POST /cite     {"query": "..."} or {"queries": ["...", ...]}
-//	               ?version=N cites against committed snapshot N
-//	               (time travel; 404 on unknown versions)
-//	POST /commit   {"message": "..."}
-//	GET  /versions commit history
-//	GET  /views    registered citation views
-//	GET  /healthz  liveness + basic shape
-//	GET  /metrics  Prometheus text format counters
+//	POST /cite      {"query": "..."} or {"queries": ["...", ...]}
+//	                ?version=N cites against committed snapshot N
+//	                (time travel; 404 on unknown versions)
+//	POST /ingest    {"relation": "R", "insert": [[...]], "delete": [[...]]}
+//	                or {"batches": [...]} — journaled head mutations
+//	POST /commit    {"message": "..."}
+//	GET  /versions  commit history
+//	GET  /relations relation names, arities, cardinalities (?version=N)
+//	GET  /views     registered citation views
+//	GET  /healthz   liveness + basic shape + recovered_version
+//	GET  /metrics   Prometheus text format counters + durability gauges
 //
 // Errors are classified by the engine's typed sentinels: a query that
 // does not parse answers 400 (cq.ErrBadQuery), an unknown version 404
@@ -47,6 +50,9 @@ import (
 	"repro/internal/cq"
 	"repro/internal/fixity"
 	"repro/internal/format"
+	"repro/internal/schema"
+	"repro/internal/storage"
+	"repro/internal/value"
 )
 
 // Defaults for Options zero values.
@@ -123,7 +129,7 @@ func New(sys *core.System, opts Options) *Server {
 		sys:     sys,
 		opts:    opts,
 		cache:   newResultCache(opts.CacheSize),
-		metrics: newServerMetrics([]string{"cite", "commit", "versions", "views", "healthz", "metrics"}),
+		metrics: newServerMetrics([]string{"cite", "ingest", "commit", "versions", "relations", "views", "healthz", "metrics"}),
 		mux:     http.NewServeMux(),
 	}
 	s.citer = func(ctx context.Context, queries []string, version fixity.Version) ([]*core.Citation, []error) {
@@ -136,8 +142,10 @@ func New(sys *core.System, opts Options) *Server {
 		s.sem = make(chan struct{}, opts.MaxInFlight)
 	}
 	s.mux.HandleFunc("/cite", s.metrics.instrument("cite", s.methodOnly(http.MethodPost, s.handleCite)))
+	s.mux.HandleFunc("/ingest", s.metrics.instrument("ingest", s.methodOnly(http.MethodPost, s.handleIngest)))
 	s.mux.HandleFunc("/commit", s.metrics.instrument("commit", s.methodOnly(http.MethodPost, s.handleCommit)))
 	s.mux.HandleFunc("/versions", s.metrics.instrument("versions", s.methodOnly(http.MethodGet, s.handleVersions)))
+	s.mux.HandleFunc("/relations", s.metrics.instrument("relations", s.methodOnly(http.MethodGet, s.handleRelations)))
 	s.mux.HandleFunc("/views", s.metrics.instrument("views", s.methodOnly(http.MethodGet, s.handleViews)))
 	s.mux.HandleFunc("/healthz", s.metrics.instrument("healthz", s.methodOnly(http.MethodGet, s.handleHealthz)))
 	s.mux.HandleFunc("/metrics", s.metrics.instrument("metrics", s.methodOnly(http.MethodGet, s.handleMetrics)))
@@ -552,7 +560,13 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	}
 	// CommitVersioned pairs the commit with the epoch it produced; a
 	// racing second commit cannot make this response claim its epoch.
-	info, epoch := s.sys.CommitVersioned(req.Message)
+	info, epoch, err := s.sys.CommitVersioned(req.Message)
+	if err != nil {
+		// Journal/checkpoint failures are the server's disk, not the
+		// client's request.
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	// The epoch bump already orphans every epoch-keyed entry; purge them
 	// to release the memory immediately. Version-pinned entries are
 	// immutable results and deliberately survive the commit.
@@ -599,6 +613,260 @@ func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// ingestBatch is one relation's mutation batch: tuples to delete and
+// tuples to insert, each an array of JSON values matching the relation's
+// attribute kinds (numbers for int/float columns, strings for string
+// columns, RFC3339 strings for time columns). Deletions apply before
+// insertions.
+type ingestBatch struct {
+	Relation string              `json:"relation"`
+	Insert   [][]json.RawMessage `json:"insert,omitempty"`
+	Delete   [][]json.RawMessage `json:"delete,omitempty"`
+}
+
+// ingestRequest is the POST /ingest body: either a single batch inline
+// (relation/insert/delete) or a list under "batches".
+type ingestRequest struct {
+	ingestBatch
+	Batches []ingestBatch `json:"batches,omitempty"`
+}
+
+// ingestBatchResult reports one applied batch.
+type ingestBatchResult struct {
+	Relation string `json:"relation"`
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+}
+
+// ingestResponse is the POST /ingest reply. Epoch is the system version
+// token after the mutations: every batch below it is visible to any cite
+// that observes this epoch.
+type ingestResponse struct {
+	Epoch    int64               `json:"epoch"`
+	Inserted int                 `json:"inserted"`
+	Deleted  int                 `json:"deleted"`
+	Batches  []ingestBatchResult `json:"batches"`
+}
+
+// decodeTuple coerces one wire tuple onto the relation's attribute kinds.
+func decodeTuple(rs *schema.Relation, raw []json.RawMessage) (storage.Tuple, error) {
+	if len(raw) != rs.Arity() {
+		return nil, fmt.Errorf("tuple arity %d, relation %s has %d", len(raw), rs.Name, rs.Arity())
+	}
+	t := make(storage.Tuple, len(raw))
+	for i, rm := range raw {
+		attr := rs.Attributes[i]
+		switch attr.Kind {
+		case value.KindString:
+			var s string
+			if err := json.Unmarshal(rm, &s); err != nil {
+				return nil, fmt.Errorf("attribute %s: want a string: %v", attr.Name, err)
+			}
+			t[i] = value.String(s)
+		case value.KindInt:
+			var n int64
+			if err := json.Unmarshal(rm, &n); err != nil {
+				return nil, fmt.Errorf("attribute %s: want an integer: %v", attr.Name, err)
+			}
+			t[i] = value.Int(n)
+		case value.KindFloat:
+			var f float64
+			if err := json.Unmarshal(rm, &f); err != nil {
+				return nil, fmt.Errorf("attribute %s: want a number: %v", attr.Name, err)
+			}
+			t[i] = value.Float(f)
+		case value.KindTime:
+			var s string
+			if err := json.Unmarshal(rm, &s); err != nil {
+				return nil, fmt.Errorf("attribute %s: want an RFC3339 string: %v", attr.Name, err)
+			}
+			ts, err := time.Parse(time.RFC3339, s)
+			if err != nil {
+				return nil, fmt.Errorf("attribute %s: %v", attr.Name, err)
+			}
+			t[i] = value.Time(ts)
+		default:
+			return nil, fmt.Errorf("attribute %s: unsupported kind %s", attr.Name, attr.Kind)
+		}
+	}
+	return t, nil
+}
+
+// handleIngest applies per-relation insert/delete batches to the head
+// database through the system's journaled mutation API: on a durable
+// system every batch reaches the commit log before storage, and in every
+// case the system epoch advances so cached head citations turn over
+// exactly as they do on commit. Ingest is admission-controlled by the
+// same semaphore as /cite, so mutation pressure and citation load share
+// one bound.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	var req ingestRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	single := req.Relation != "" || len(req.Insert) > 0 || len(req.Delete) > 0
+	batches := req.Batches
+	switch {
+	case single && len(batches) > 0:
+		writeError(w, http.StatusBadRequest, `body must set either "relation"/"insert"/"delete" or "batches", not both`)
+		return
+	case single:
+		batches = []ingestBatch{req.ingestBatch}
+	case len(batches) == 0:
+		writeError(w, http.StatusBadRequest, `body must set "relation" or a non-empty "batches"`)
+		return
+	}
+	// Decode and validate everything before admission and before applying
+	// anything: a malformed batch answers 4xx without mutating state.
+	sch := s.sys.Database().Schema()
+	type decoded struct {
+		relation string
+		insert   []storage.Tuple
+		delete   []storage.Tuple
+	}
+	work := make([]decoded, len(batches))
+	for bi, b := range batches {
+		if b.Relation == "" {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("batch %d: missing relation", bi))
+			return
+		}
+		rs := sch.Relation(b.Relation)
+		if rs == nil {
+			writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("batch %d: unknown relation %s", bi, b.Relation))
+			return
+		}
+		if len(b.Insert) == 0 && len(b.Delete) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("batch %d (%s): empty batch", bi, b.Relation))
+			return
+		}
+		d := decoded{relation: b.Relation}
+		for ti, raw := range b.Delete {
+			t, err := decodeTuple(rs, raw)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("batch %d (%s): delete tuple %d: %v", bi, b.Relation, ti, err))
+				return
+			}
+			d.delete = append(d.delete, t)
+		}
+		for ti, raw := range b.Insert {
+			t, err := decodeTuple(rs, raw)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("batch %d (%s): insert tuple %d: %v", bi, b.Relation, ti, err))
+				return
+			}
+			d.insert = append(d.insert, t)
+		}
+		work[bi] = d
+	}
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			s.metrics.rejected.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "admission queue full: "+ctx.Err().Error())
+			return
+		}
+	}
+	resp := ingestResponse{Batches: make([]ingestBatchResult, 0, len(work))}
+	for _, d := range work {
+		res := ingestBatchResult{Relation: d.relation}
+		if len(d.delete) > 0 {
+			n, err := s.sys.Delete(d.relation, d.delete)
+			if err != nil {
+				// Validation passed above, so this is the journal's disk.
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			res.Deleted = n
+		}
+		if len(d.insert) > 0 {
+			n, err := s.sys.Insert(d.relation, d.insert)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			res.Inserted = n
+		}
+		resp.Inserted += res.Inserted
+		resp.Deleted += res.Deleted
+		resp.Batches = append(resp.Batches, res)
+	}
+	// The epoch bump already orphans epoch-keyed entries; purge them to
+	// release memory, exactly as /commit does. Version-pinned entries
+	// target immutable snapshots and survive.
+	s.cache.purgeEpochKeyed()
+	resp.Epoch = s.sys.Version()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// relationInfo is the wire form of one relation's shape and cardinality.
+type relationInfo struct {
+	Name       string     `json:"name"`
+	Arity      int        `json:"arity"`
+	Tuples     int        `json:"tuples"`
+	Attributes []attrInfo `json:"attributes"`
+}
+
+type attrInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Key  bool   `json:"key,omitempty"`
+}
+
+// handleRelations reports relation names, arities and cardinalities of
+// the head database, or of committed snapshot N with ?version=N (404 on
+// unknown versions).
+func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) {
+	epoch, latest := s.sys.Versions()
+	db := s.sys.Database()
+	respVersion := int(latest)
+	if vs := r.URL.Query().Get("version"); vs != "" {
+		n, err := strconv.Atoi(vs)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid version %q: want a positive integer", vs))
+			return
+		}
+		vdb, err := s.sys.Store().At(fixity.Version(n))
+		if err != nil {
+			writeError(w, statusForError(err), err.Error())
+			return
+		}
+		db, respVersion = vdb, n
+	}
+	sch := db.Schema()
+	out := struct {
+		Epoch     int64          `json:"epoch"`
+		Version   int            `json:"version"`
+		Relations []relationInfo `json:"relations"`
+	}{Epoch: epoch, Version: respVersion}
+	for _, name := range sch.Names() {
+		rs := sch.Relation(name)
+		info := relationInfo{
+			Name:       name,
+			Arity:      rs.Arity(),
+			Tuples:     db.Relation(name).Len(),
+			Attributes: make([]attrInfo, rs.Arity()),
+		}
+		key := make(map[int]bool, len(rs.Key))
+		for _, k := range rs.Key {
+			key[k] = true
+		}
+		for i, a := range rs.Attributes {
+			info.Attributes[i] = attrInfo{Name: a.Name, Kind: a.Kind.String(), Key: key[i]}
+		}
+		out.Relations = append(out.Relations, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // ViewInfo is the wire form of one registered citation view. It is the
 // single report shape for views: GET /views serves it and citeviews
 // -json embeds it, so the two encodings cannot drift apart.
@@ -637,16 +905,23 @@ func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	epoch, latest := s.sys.Versions()
+	dur, _ := s.sys.Durability()
 	writeJSON(w, http.StatusOK, struct {
 		Status  string `json:"status"`
 		Epoch   int64  `json:"epoch"`
 		Version int    `json:"version"`
 		Views   int    `json:"views"`
+		Durable bool   `json:"durable"`
+		// RecoveredVersion is the latest committed version rebuilt from
+		// the data directory at boot (0 when the process started fresh).
+		RecoveredVersion int `json:"recovered_version"`
 	}{
-		Status:  "ok",
-		Epoch:   epoch,
-		Version: int(latest),
-		Views:   s.sys.Registry().Len(),
+		Status:           "ok",
+		Epoch:            epoch,
+		Version:          int(latest),
+		Views:            s.sys.Registry().Len(),
+		Durable:          dur.Enabled,
+		RecoveredVersion: int(dur.RecoveredVersion),
 	})
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fixity"
 	"repro/internal/format"
 	"repro/internal/spec"
+	"repro/internal/storage"
 	"repro/internal/value"
 )
 
@@ -80,6 +81,20 @@ func getJSON(t *testing.T, client *http.Client, url string, into any) *http.Resp
 		}
 	}
 	return resp
+}
+
+func getText(t *testing.T, client *http.Client, url string) string {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
 }
 
 func TestCiteSingle(t *testing.T) {
@@ -703,5 +718,277 @@ func TestSetPolicyInvalidatesVersionedCache(t *testing.T) {
 	}
 	if out.Result.Cache != "miss" {
 		t.Errorf("versioned cite after SetPolicy cache = %q, want miss (config change must orphan versioned entries)", out.Result.Cache)
+	}
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	_, ts := paperServer(t, Options{})
+	client := ts.Client()
+
+	// A cite before the ingest, to prove the cache turns over.
+	resp, _ := postJSON(t, client, ts.URL+"/cite", map[string]any{"query": paperQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-ingest cite: %d", resp.StatusCode)
+	}
+
+	var ing struct {
+		Epoch    int64 `json:"epoch"`
+		Inserted int   `json:"inserted"`
+		Deleted  int   `json:"deleted"`
+		Batches  []struct {
+			Relation string `json:"relation"`
+			Inserted int    `json:"inserted"`
+			Deleted  int    `json:"deleted"`
+		} `json:"batches"`
+	}
+	resp, body := postJSON(t, client, ts.URL+"/ingest", map[string]any{
+		"batches": []map[string]any{
+			{"relation": "Family", "insert": [][]any{{77, "Amylin", "A1"}, {78, "Ghrelin", "G1"}}},
+			{"relation": "Family", "delete": [][]any{{78, "Ghrelin", "G1"}, {999, "None", "X"}}},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &ing); err != nil {
+		t.Fatalf("ingest response: %v\n%s", err, body)
+	}
+	if ing.Inserted != 2 || ing.Deleted != 1 || len(ing.Batches) != 2 {
+		t.Fatalf("ingest counts: %+v", ing)
+	}
+
+	// The head citation reflects the ingested tuple (epoch moved, cache
+	// did not serve the stale result).
+	var cite struct {
+		Result struct {
+			Record map[string][]string `json:"record"`
+			Cache  string              `json:"cache"`
+		} `json:"result"`
+	}
+	resp, body = postJSON(t, client, ts.URL+"/cite", map[string]any{"query": paperQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-ingest cite: %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &cite); err != nil {
+		t.Fatal(err)
+	}
+	if cite.Result.Cache != "miss" {
+		t.Fatalf("post-ingest cite served %q, want a fresh computation", cite.Result.Cache)
+	}
+
+	// Error taxonomy: unknown relation 422, malformed tuples 400, both
+	// shapes at once 400, empty 400 — and nothing is applied.
+	for _, tc := range []struct {
+		name string
+		body map[string]any
+		want int
+	}{
+		{"unknown relation", map[string]any{"relation": "Nope", "insert": [][]any{{1}}}, http.StatusUnprocessableEntity},
+		{"bad arity", map[string]any{"relation": "Family", "insert": [][]any{{1, "x"}}}, http.StatusBadRequest},
+		{"bad kind", map[string]any{"relation": "Family", "insert": [][]any{{"str", "x", "y"}}}, http.StatusBadRequest},
+		{"both shapes", map[string]any{"relation": "Family", "insert": [][]any{{1, "a", "b"}},
+			"batches": []map[string]any{{"relation": "Family"}}}, http.StatusBadRequest},
+		{"empty", map[string]any{}, http.StatusBadRequest},
+		{"empty batch", map[string]any{"batches": []map[string]any{{"relation": "Family"}}}, http.StatusBadRequest},
+	} {
+		resp, body := postJSON(t, client, ts.URL+"/ingest", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, body)
+		}
+	}
+}
+
+func TestRelationsEndpoint(t *testing.T) {
+	srv, ts := paperServer(t, Options{})
+	client := ts.Client()
+	type relResp struct {
+		Epoch     int64 `json:"epoch"`
+		Version   int   `json:"version"`
+		Relations []struct {
+			Name       string `json:"name"`
+			Arity      int    `json:"arity"`
+			Tuples     int    `json:"tuples"`
+			Attributes []struct {
+				Name string `json:"name"`
+				Kind string `json:"kind"`
+				Key  bool   `json:"key"`
+			} `json:"attributes"`
+		} `json:"relations"`
+	}
+	var head relResp
+	if resp := getJSON(t, client, ts.URL+"/relations", &head); resp.StatusCode != http.StatusOK {
+		t.Fatalf("relations: %d", resp.StatusCode)
+	}
+	if head.Version != 1 || len(head.Relations) == 0 {
+		t.Fatalf("relations head: %+v", head)
+	}
+	famTuples := -1
+	for _, r := range head.Relations {
+		if r.Name == "Family" {
+			famTuples = r.Tuples
+			if r.Arity != 3 || len(r.Attributes) != 3 || r.Attributes[0].Kind != "int" {
+				t.Fatalf("Family shape: %+v", r)
+			}
+		}
+	}
+	if famTuples < 1 {
+		t.Fatalf("Family missing or empty: %+v", head)
+	}
+
+	// Mutate + commit, then ask for the old version's cardinalities.
+	if _, err := srv.System().Insert("Family", []storage.Tuple{
+		{value.Int(555), value.String("New"), value.String("N")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv.System().Commit("v2")
+	var v1, v2 relResp
+	getJSON(t, client, ts.URL+"/relations?version=1", &v1)
+	getJSON(t, client, ts.URL+"/relations", &v2)
+	famAt := func(r relResp) int {
+		for _, rel := range r.Relations {
+			if rel.Name == "Family" {
+				return rel.Tuples
+			}
+		}
+		return -1
+	}
+	if famAt(v1) != famTuples {
+		t.Fatalf("version 1 cardinality drifted: %d vs %d", famAt(v1), famTuples)
+	}
+	if famAt(v2) != famTuples+1 {
+		t.Fatalf("head cardinality: %d, want %d", famAt(v2), famTuples+1)
+	}
+	if resp := getJSON(t, client, ts.URL+"/relations?version=99", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown version: %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, client, ts.URL+"/relations?version=bogus", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus version: %d, want 400", resp.StatusCode)
+	}
+}
+
+// durablePaperServer builds a journaling system from the paper fixture.
+func durablePaperServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "testdata", "paper.dcs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := spec.Load(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EnableDurability(dir, core.DurableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Commit("load")
+	srv := New(sys, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestServerCrashRecoveryByteIdentical is the HTTP half of the kill -9
+// durability proof: ingest and commit three versions over the wire, pin
+// a citation at version 2, crash (abandon the server without checkpoint
+// or clean close), restart on the same directory, and require /versions
+// to serve the identical history and the pinned ?version=2 citation to
+// be byte-identical.
+func TestServerCrashRecoveryByteIdentical(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	srv1, ts := durablePaperServer(t, dir)
+	client := ts.Client()
+
+	for i, ins := range [][]any{{101, "Amylin", "A"}, {102, "Ghrelin", "G"}, {103, "Motilin", "M"}} {
+		resp, body := postJSON(t, client, ts.URL+"/ingest", map[string]any{
+			"relation": "Family", "insert": [][]any{ins},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: %d: %s", i, resp.StatusCode, body)
+		}
+		resp, body = postJSON(t, client, ts.URL+"/commit", map[string]any{"message": fmt.Sprintf("wire commit %d", i)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("commit %d: %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	// Strip the envelope's epoch (a process-local token) but keep the
+	// whole result object, pin and digest included.
+	pinned := func(u string) json.RawMessage {
+		resp, body := postJSON(t, client, u+"/cite?version=2", map[string]any{"query": paperQuery})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pinned cite: %d: %s", resp.StatusCode, body)
+		}
+		var env struct {
+			Version int             `json:"version"`
+			Result  json.RawMessage `json:"result"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Version != 2 {
+			t.Fatalf("pinned cite answered version %d", env.Version)
+		}
+		return env.Result
+	}
+	versions := func(u string) string {
+		var env struct {
+			Latest   int               `json:"latest"`
+			Versions []json.RawMessage `json:"versions"`
+		}
+		getJSON(t, client, u+"/versions", &env)
+		raw, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	origResult := pinned(ts.URL)
+	origVersions := versions(ts.URL)
+
+	// Crash: the httptest server closes and the System is abandoned
+	// without a checkpoint. Dropping the log releases the writer flock
+	// so this process can reopen the directory; appends are unbuffered,
+	// so this loses exactly what a kill -9 would (the CI smoke job does
+	// the real cross-process kill -9).
+	ts.Close()
+	if err := srv1.System().CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := core.Open(dir, core.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(re, Options{})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	client = ts2.Client()
+
+	if got := versions(ts2.URL); got != origVersions {
+		t.Fatalf("recovered /versions differs:\n orig: %s\n got: %s", origVersions, got)
+	}
+	if got := pinned(ts2.URL); string(got) != string(origResult) {
+		t.Fatalf("recovered pinned citation differs:\n orig: %s\n got: %s", origResult, got)
+	}
+
+	var hz struct {
+		Durable          bool `json:"durable"`
+		RecoveredVersion int  `json:"recovered_version"`
+		Version          int  `json:"version"`
+	}
+	getJSON(t, client, ts2.URL+"/healthz", &hz)
+	if !hz.Durable || hz.RecoveredVersion != 4 || hz.Version != 4 {
+		t.Fatalf("healthz after recovery: %+v", hz)
+	}
+	metrics := getText(t, client, ts2.URL+"/metrics")
+	for _, want := range []string{
+		"citeserved_wal_segments", "citeserved_wal_bytes_since_checkpoint",
+		"citeserved_recovery_seconds", "citeserved_recovered_version 4",
+		`citeserved_wal_fsync_mode{mode="on-commit"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }

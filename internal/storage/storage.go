@@ -251,6 +251,95 @@ func (r *Relation) bumpStats() {
 	r.statsMu.Unlock()
 }
 
+// Check validates a tuple against the relation schema (arity and value
+// kinds) without touching the data. The durable layer calls it before a
+// batch is journaled, so the commit log never records a tuple the
+// relation would reject on replay.
+func (r *Relation) Check(t Tuple) error { return r.checkTuple(t) }
+
+// Generation returns a counter that advances on every content mutation
+// (and never otherwise — index builds, snapshots and statistics reads
+// leave it alone). The durable layer compares generations to detect
+// head mutations that bypassed the journaled API: journaling a commit
+// whose contents the log cannot reproduce would make the directory
+// unrecoverable, so such a commit must be refused up front.
+func (r *Relation) Generation() uint64 {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.statsGen
+}
+
+// InsertBatch inserts a batch of tuples under one lock acquisition,
+// returning how many were actually added (duplicates are no-ops, exactly
+// as in Insert). The whole batch is validated first: on a schema
+// mismatch nothing is inserted. This is the bulk path used by network
+// ingest and log replay.
+func (r *Relation) InsertBatch(ts []Tuple) (int, error) {
+	if len(ts) == 0 {
+		return 0, nil
+	}
+	for _, t := range ts {
+		if err := r.checkTuple(t); err != nil {
+			return 0, err
+		}
+	}
+	r.wLock()
+	defer r.mu.Unlock()
+	added := 0
+	for _, t := range ts {
+		k := t.Key()
+		if _, ok := r.present[k]; ok {
+			continue
+		}
+		if holes := len(r.tuples) - len(r.present); holes > 64 && holes > len(r.present) {
+			r.compactLocked()
+		}
+		idx := len(r.tuples)
+		r.tuples = append(r.tuples, t.Clone())
+		r.present[k] = idx
+		for col, ix := range r.indexes {
+			ix[t[col]] = append(ix[t[col]], idx)
+		}
+		added++
+	}
+	if added > 0 {
+		r.bumpStats()
+	}
+	return added, nil
+}
+
+// DeleteBatch removes a batch of tuples under one lock acquisition,
+// returning how many were present (and therefore removed). Tuples are
+// validated against the schema first so replayed deletions fail loudly
+// rather than silently matching nothing.
+func (r *Relation) DeleteBatch(ts []Tuple) (int, error) {
+	if len(ts) == 0 {
+		return 0, nil
+	}
+	for _, t := range ts {
+		if err := r.checkTuple(t); err != nil {
+			return 0, err
+		}
+	}
+	r.wLock()
+	defer r.mu.Unlock()
+	removed := 0
+	for _, t := range ts {
+		k := t.Key()
+		idx, ok := r.present[k]
+		if !ok {
+			continue
+		}
+		delete(r.present, k)
+		r.tuples[idx] = nil
+		removed++
+	}
+	if removed > 0 {
+		r.bumpStats()
+	}
+	return removed, nil
+}
+
 // MustInsert inserts and panics on schema mismatch; duplicate inserts are
 // silently ignored. Intended for generators and tests.
 func (r *Relation) MustInsert(vals ...value.Value) {
@@ -601,6 +690,17 @@ func (db *Database) Delete(relation string, vals ...value.Value) (bool, error) {
 		return false, fmt.Errorf("storage: unknown relation %s", relation)
 	}
 	return r.Delete(Tuple(vals)), nil
+}
+
+// MutationGen sums the relations' content-mutation generations — a
+// database-wide token that moves iff some relation's contents were
+// mutated. See Relation.Generation.
+func (db *Database) MutationGen() uint64 {
+	var g uint64
+	for _, r := range db.relations {
+		g += r.Generation()
+	}
+	return g
 }
 
 // Size returns the total number of live tuples across all relations.

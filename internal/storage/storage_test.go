@@ -419,3 +419,73 @@ func TestDistinctCountCacheInvalidation(t *testing.T) {
 		t.Fatalf("source DistinctCount(0) = %d, want 3", n)
 	}
 }
+
+func TestInsertDeleteBatch(t *testing.T) {
+	r := NewRelation(pairSchema(t))
+	r.BuildIndex(0)
+	n, err := r.InsertBatch([]Tuple{tup(1, "a"), tup(2, "b"), tup(1, "a"), tup(3, "c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("InsertBatch added %d, want 3 (duplicate is a no-op)", n)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if got := r.Lookup(0, value.Int(2)); len(got) != 1 || !got[0].Equal(tup(2, "b")) {
+		t.Fatalf("index not maintained by InsertBatch: %v", got)
+	}
+	n, err = r.DeleteBatch([]Tuple{tup(2, "b"), tup(9, "zz")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("DeleteBatch removed %d, want 1", n)
+	}
+	if r.Contains(tup(2, "b")) {
+		t.Fatal("deleted tuple still present")
+	}
+
+	// Batch validation is all-or-nothing: one bad tuple inserts nothing.
+	if _, err := r.InsertBatch([]Tuple{tup(7, "g"), {value.String("x")}}); err == nil {
+		t.Fatal("InsertBatch accepted a malformed tuple")
+	}
+	if r.Contains(tup(7, "g")) {
+		t.Fatal("partial batch applied despite validation failure")
+	}
+	if _, err := r.DeleteBatch([]Tuple{{value.String("x")}}); err == nil {
+		t.Fatal("DeleteBatch accepted a malformed tuple")
+	}
+}
+
+func TestCheckMatchesInsertValidation(t *testing.T) {
+	r := NewRelation(pairSchema(t))
+	if err := r.Check(tup(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(Tuple{value.Int(1)}); err == nil {
+		t.Fatal("Check accepted wrong arity")
+	}
+	if err := r.Check(Tuple{value.String("x"), value.String("y")}); err == nil {
+		t.Fatal("Check accepted wrong kind")
+	}
+	if r.Len() != 0 {
+		t.Fatal("Check mutated the relation")
+	}
+}
+
+func TestBatchMutationsDetachSnapshots(t *testing.T) {
+	r := NewRelation(pairSchema(t))
+	r.MustInsert(value.Int(1), value.String("a"))
+	snap := r.Snapshot()
+	if _, err := r.InsertBatch([]Tuple{tup(2, "b")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.DeleteBatch([]Tuple{tup(1, "a")}); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 1 || !snap.Contains(tup(1, "a")) || snap.Contains(tup(2, "b")) {
+		t.Fatal("batch mutations leaked into a frozen snapshot")
+	}
+}

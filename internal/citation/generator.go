@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/citeexpr"
 	"repro/internal/cq"
@@ -77,12 +78,22 @@ type Generator struct {
 
 	// planCache memoizes compiled query plans per rewriting signature. A
 	// plan captures the relation instances and statistics it was compiled
-	// against, so head-generation entries live exactly one cache
-	// generation: they are dropped together with the view and atom caches
-	// (DESIGN.md §3, §6). Snapshot-keyed plans reference frozen relations
-	// and live until their version namespace is evicted.
+	// against, so a head-generation entry (ver 0) lives until a delta
+	// touches one of the base relations it transitively reads — it is
+	// dropped together with the view entries it references, whose deps are
+	// a subset of its own (DESIGN.md §3, §6). Snapshot-keyed plans
+	// reference frozen relations and live until their version namespace is
+	// evicted.
 	planMu    sync.Mutex
-	planCache map[genKey]*eval.Plan
+	planCache map[genKey]*planEntry
+
+	// Cache-survival counters: per InvalidateTouched/InvalidateCache call,
+	// every head-generation entry is accounted exactly once as kept or
+	// evicted. Exposed on the server's /metrics so delta invalidation's
+	// win is observable in production.
+	plansKept, plansEvicted atomic.Int64
+	viewsKept, viewsEvicted atomic.Int64
+	atomsKept, atomsEvicted atomic.Int64
 
 	// verMu guards verUse, the recency order (least-recently-used first)
 	// of the versioned cache namespaces currently retained. Entries never
@@ -140,6 +151,10 @@ type viewEntry struct {
 	ready chan struct{}
 	rel   *storage.Relation
 	err   error
+	// deps is the set of base relations the view's body transitively
+	// reads (Registry.QueryDeps), fixed at creation: a delta touching any
+	// of them evicts the entry, every other delta leaves it warm.
+	deps []string
 }
 
 // atomEntry is the singleflight slot for one resolved citation atom,
@@ -149,6 +164,19 @@ type atomEntry struct {
 	ready chan struct{}
 	rec   format.Record
 	err   error
+	// deps is the set of base relations the view's citation queries
+	// transitively read (Registry.CitationDeps) — the only relations whose
+	// deltas can change this resolved record.
+	deps []string
+}
+
+// planEntry pairs a compiled plan with the base relations it transitively
+// reads: the residual base atoms it scans directly plus the body deps of
+// every materialized view it references (a plan must not outlive the view
+// instances and compile-time statistics it captured).
+type planEntry struct {
+	plan *eval.Plan
+	deps []string
 }
 
 // NewGenerator builds a Generator with the paper's default policy.
@@ -159,7 +187,7 @@ func NewGenerator(reg *Registry, db *storage.Database) *Generator {
 		pol:       policy.Default(),
 		viewCache: make(map[genKey]*viewEntry),
 		atomCache: make(map[genKey]*atomEntry),
-		planCache: make(map[genKey]*eval.Plan),
+		planCache: make(map[genKey]*planEntry),
 		paramPos:  make(map[string][]int),
 	}
 }
@@ -193,40 +221,149 @@ func (g *Generator) workers() int {
 }
 
 // InvalidateCache drops the head generation's materialized views,
-// resolved citation records and compiled query plans; call after
-// modifying the database (core.System does this on every Commit).
-// In-flight materializations finish against the orphaned entries and are
-// re-done on next demand. Entries keyed to committed versions (ver ≥ 1)
-// are retained: they were computed against immutable snapshots and can
-// never go stale, so time-travel cites survive every invalidation.
-// paramPos is deliberately retained too: it is derived from view
-// definitions, not data, and an in-flight Cite's annotator may still be
-// reading it. The evolution package refreshes the caches incrementally
-// instead.
+// resolved citation records and compiled query plans wholesale — the
+// full-flush fallback for changes that alter citation *semantics* rather
+// than data: core.System calls it on DefineView and SetPolicy (and as
+// the safety net where no touched-relation set exists). Data changes go
+// through InvalidateTouched instead, which keeps entries over untouched
+// relations warm. In-flight materializations finish against the orphaned
+// entries and are re-done on next demand. Entries keyed to committed
+// versions (ver ≥ 1) are retained: they were computed against immutable
+// snapshots and can never go stale, so time-travel cites survive every
+// invalidation. paramPos is deliberately retained too: it is derived
+// from view definitions, not data, and an in-flight Cite's annotator may
+// still be reading it. The evolution package refreshes the caches
+// incrementally instead.
 func (g *Generator) InvalidateCache() {
+	g.invalidate(nil)
+}
+
+// InvalidateTouched evicts exactly the head-generation cache entries
+// whose transitive base-relation dependencies intersect rels, leaving
+// everything else warm across the delta: a commit touching only relation
+// R recomputes queries that read R and serves the rest from cache.
+// core.System.Commit derives rels from the journaled mutation batches
+// (or, for direct head mutations, from per-relation generation
+// counters). An empty rels evicts nothing — a data-less commit keeps the
+// whole hot set. Semantic changes (DefineView/SetPolicy) must use the
+// full InvalidateCache instead.
+func (g *Generator) InvalidateTouched(rels []string) {
+	if len(rels) == 0 {
+		g.countAllKept()
+		return
+	}
+	touched := make(map[string]bool, len(rels))
+	for _, r := range rels {
+		touched[r] = true
+	}
+	g.invalidate(touched)
+}
+
+// invalidate walks the three head-generation caches, evicting entries
+// whose deps intersect touched (nil touched = evict all) and counting
+// every surviving/evicted entry once.
+func (g *Generator) invalidate(touched map[string]bool) {
+	hit := func(deps []string) bool {
+		if touched == nil {
+			return true
+		}
+		for _, d := range deps {
+			if touched[d] {
+				return true
+			}
+		}
+		return false
+	}
+
 	g.viewMu.Lock()
-	for k := range g.viewCache {
-		if k.ver == 0 {
+	for k, e := range g.viewCache {
+		if k.ver != 0 {
+			continue
+		}
+		if hit(e.deps) {
 			delete(g.viewCache, k)
+			g.viewsEvicted.Add(1)
+		} else {
+			g.viewsKept.Add(1)
 		}
 	}
 	g.viewMu.Unlock()
 
 	g.atomMu.Lock()
-	for k := range g.atomCache {
-		if k.ver == 0 {
+	for k, e := range g.atomCache {
+		if k.ver != 0 {
+			continue
+		}
+		if hit(e.deps) {
 			delete(g.atomCache, k)
+			g.atomsEvicted.Add(1)
+		} else {
+			g.atomsKept.Add(1)
 		}
 	}
 	g.atomMu.Unlock()
 
 	g.planMu.Lock()
-	for k := range g.planCache {
-		if k.ver == 0 {
+	for k, e := range g.planCache {
+		if k.ver != 0 {
+			continue
+		}
+		if hit(e.deps) {
 			delete(g.planCache, k)
+			g.plansEvicted.Add(1)
+		} else {
+			g.plansKept.Add(1)
 		}
 	}
 	g.planMu.Unlock()
+}
+
+// countAllKept accounts a no-op invalidation (empty touched set): every
+// head-generation entry survives and is counted as kept.
+func (g *Generator) countAllKept() {
+	g.viewMu.RLock()
+	for k := range g.viewCache {
+		if k.ver == 0 {
+			g.viewsKept.Add(1)
+		}
+	}
+	g.viewMu.RUnlock()
+	g.atomMu.Lock()
+	for k := range g.atomCache {
+		if k.ver == 0 {
+			g.atomsKept.Add(1)
+		}
+	}
+	g.atomMu.Unlock()
+	g.planMu.Lock()
+	for k := range g.planCache {
+		if k.ver == 0 {
+			g.plansKept.Add(1)
+		}
+	}
+	g.planMu.Unlock()
+}
+
+// CacheCounters is the point-in-time snapshot of the generator's
+// cache-survival counters: per invalidation, every head-generation entry
+// is accounted exactly once as kept (survived the delta) or evicted (a
+// touched relation was among its dependencies).
+type CacheCounters struct {
+	PlansKept, PlansEvicted int64
+	ViewsKept, ViewsEvicted int64
+	AtomsKept, AtomsEvicted int64
+}
+
+// Counters snapshots the cache-survival counters.
+func (g *Generator) Counters() CacheCounters {
+	return CacheCounters{
+		PlansKept:    g.plansKept.Load(),
+		PlansEvicted: g.plansEvicted.Load(),
+		ViewsKept:    g.viewsKept.Load(),
+		ViewsEvicted: g.viewsEvicted.Load(),
+		AtomsKept:    g.atomsKept.Load(),
+		AtomsEvicted: g.atomsEvicted.Load(),
+	}
 }
 
 // TupleCitation is the citation of a single answer tuple: its full formal
@@ -257,6 +394,14 @@ type Result struct {
 	Expr       citeexpr.Expr
 	Record     format.Record
 	Stats      Stats
+	// Reads is the sorted set of base relations this citation transitively
+	// read: for every rewriting found (evaluated or not — cost pruning
+	// consults relation statistics of all of them), the body deps and
+	// citation-query deps of its views plus its residual base atoms. A
+	// result whose Reads are disjoint from a commit's touched-relation set
+	// is byte-identical to a recomputation, which is the delta
+	// invalidation rule external result caches key on (DESIGN.md §3).
+	Reads []string
 }
 
 // branch is the annotated evaluation of one rewriting: per answer tuple,
@@ -353,6 +498,7 @@ func (g *Generator) CiteContext(ctx context.Context, q *cq.Query, req Request) (
 	}
 	res.Rewritings = rewritings
 	res.Stats.RewritingsFound = len(rewritings)
+	res.Reads = g.readSet(rewritings)
 
 	evalSet := rewritings
 	if g.CostPruned && pol.AltR != policy.AllBranches {
@@ -464,6 +610,42 @@ func (g *Generator) CiteContext(ctx context.Context, q *cq.Query, req Request) (
 	return res, nil
 }
 
+// readSet computes the union of base relations a citation built from
+// these rewritings transitively reads: every view atom contributes its
+// body deps (the materialized instance) and its citation-query deps (the
+// resolved records); residual base atoms contribute themselves. The
+// union ranges over ALL rewritings found, not only the evaluated set —
+// cost pruning estimates sizes from every rewriting's relation
+// statistics, so a delta to any of them can change which branch is
+// chosen and therefore the result.
+func (g *Generator) readSet(rewritings []*rewrite.Rewriting) []string {
+	reads := make(map[string]bool)
+	seen := make(map[string]bool) // view names already folded in
+	for _, rw := range rewritings {
+		for _, va := range rw.ViewAtoms {
+			if seen[va.ViewName] {
+				continue
+			}
+			seen[va.ViewName] = true
+			for _, d := range g.reg.QueryDeps(va.ViewName) {
+				reads[d] = true
+			}
+			for _, d := range g.reg.CitationDeps(va.ViewName) {
+				reads[d] = true
+			}
+		}
+		for _, ba := range rw.BaseAtoms {
+			reads[ba.Predicate] = true
+		}
+	}
+	out := make([]string, 0, len(reads))
+	for r := range reads {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // evalBranches evaluates every rewriting with citation-expression
 // annotations against db, caching per ver. A single rewriting is
 // partitioned internally (eval.RunAnnotatedParallelCtx); several
@@ -552,27 +734,28 @@ func (g *Generator) CiteTuple(q *cq.Query, t storage.Tuple) (*TupleCitation, err
 // planFor returns the compiled evaluation plan for q over inst, memoized
 // by (ver, canonical signature) — two rewritings equal up to variable
 // renaming share one plan, and each committed version keeps its own. A
-// plan captures relation instances and compile-time statistics, so cached
-// head-generation plans (ver 0) live exactly one cache generation:
-// InvalidateCache drops them together with the materialized views they
-// reference, which keeps DESIGN.md §3's invalidation rule covering them.
-// Snapshot-keyed plans reference frozen relations and never go stale. A
-// compilation race is benign — the last writer wins and every compiled
-// plan is correct.
+// plan captures relation instances and compile-time statistics, so a
+// cached head-generation plan (ver 0) lives until a delta touches one of
+// the base relations it transitively reads: InvalidateTouched drops it
+// together with the materialized views it references (their deps are a
+// subset of the plan's), which keeps DESIGN.md §3's invalidation rule
+// covering them. Snapshot-keyed plans reference frozen relations and
+// never go stale. A compilation race is benign — the last writer wins
+// and every compiled plan is correct.
 func (g *Generator) planFor(ver int, inst eval.Instance, q *cq.Query) (*eval.Plan, error) {
 	key := genKey{ver, q.Signature()}
 	g.planMu.Lock()
-	p := g.planCache[key]
+	e := g.planCache[key]
 	g.planMu.Unlock()
-	if p != nil {
-		return p, nil
+	if e != nil {
+		return e.plan, nil
 	}
 	p, err := eval.Compile(inst, q)
 	if err != nil {
 		return nil, err
 	}
 	g.planMu.Lock()
-	g.planCache[key] = p
+	g.planCache[key] = &planEntry{plan: p, deps: g.reg.BodyDeps(q)}
 	g.planMu.Unlock()
 	return p, nil
 }
@@ -685,7 +868,7 @@ func (g *Generator) materializeAt(db *storage.Database, ver int, viewName string
 		<-e.ready
 		return e.rel, e.err
 	}
-	e := &viewEntry{ready: make(chan struct{})}
+	e := &viewEntry{ready: make(chan struct{}), deps: g.reg.QueryDeps(viewName)}
 	g.viewCache[key] = e
 	g.viewMu.Unlock()
 
@@ -764,7 +947,7 @@ func (g *Generator) resolverAt(db *storage.Database, ver int, stats *Stats) poli
 			<-e.ready
 			return e.rec, e.err
 		}
-		e := &atomEntry{ready: make(chan struct{})}
+		e := &atomEntry{ready: make(chan struct{}), deps: g.reg.CitationDeps(a.View)}
 		g.atomCache[key] = e
 		g.atomMu.Unlock()
 

@@ -2,6 +2,7 @@ package citation
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/cq"
@@ -90,6 +91,87 @@ func (r *Registry) ViewQueries() []*cq.Query {
 	for _, v := range r.views {
 		out = append(out, v.Query)
 	}
+	return out
+}
+
+// QueryDeps returns the sorted set of base relations the named predicate
+// transitively reads: a base relation reads itself, a view reads the
+// base relations of its body atoms, and a view whose body references
+// another view folds that view's dependencies in (the transitive,
+// views-reading-views case). Citation queries are NOT included — they
+// are evaluated lazily per atom and tracked by CitationDeps. The result
+// is the invalidation key for materialized-view and compiled-plan cache
+// entries: an entry whose QueryDeps are disjoint from a commit's
+// touched-relation set cannot have changed and survives the commit.
+func (r *Registry) QueryDeps(pred string) []string {
+	r.mu.RLock()
+	out := make(map[string]bool)
+	r.bodyDepsLocked(pred, make(map[string]bool), out)
+	r.mu.RUnlock()
+	return sortedKeys(out)
+}
+
+// CitationDeps returns the sorted set of base relations the named view's
+// citation queries transitively read. Resolved citation records (the
+// generator's atom cache) depend on these relations — and only these:
+// the view's own body never enters a citation query's evaluation.
+func (r *Registry) CitationDeps(view string) []string {
+	r.mu.RLock()
+	out := make(map[string]bool)
+	if v := r.byName[view]; v != nil {
+		for _, c := range v.Citations {
+			for _, a := range c.Query.Body {
+				r.bodyDepsLocked(a.Predicate, make(map[string]bool), out)
+			}
+		}
+	}
+	r.mu.RUnlock()
+	return sortedKeys(out)
+}
+
+// BodyDeps returns the sorted set of base relations q's body atoms
+// transitively read, folding registered view predicates' dependencies in
+// like QueryDeps. The citation engine keys compiled-plan cache entries
+// on it.
+func (r *Registry) BodyDeps(q *cq.Query) []string {
+	r.mu.RLock()
+	out := make(map[string]bool)
+	for _, a := range q.Body {
+		r.bodyDepsLocked(a.Predicate, make(map[string]bool), out)
+	}
+	r.mu.RUnlock()
+	return sortedKeys(out)
+}
+
+// bodyDepsLocked accumulates the transitive base relations of pred into
+// out. visited guards against (ill-formed) view cycles. Caller holds
+// r.mu at least shared.
+func (r *Registry) bodyDepsLocked(pred string, visited, out map[string]bool) {
+	if visited[pred] {
+		return
+	}
+	visited[pred] = true
+	v := r.byName[pred]
+	if v == nil {
+		// A base relation (or an unknown predicate, which can never be in
+		// a touched set and is therefore harmless to record).
+		out[pred] = true
+		return
+	}
+	for _, a := range v.Query.Body {
+		r.bodyDepsLocked(a.Predicate, visited, out)
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
 	return out
 }
 

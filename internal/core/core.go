@@ -56,6 +56,17 @@ type System struct {
 	reg   *citation.Registry
 	gen   *citation.Generator
 
+	// Delta tracking for dependency-based cache invalidation (DESIGN.md
+	// §3). relEpochs records, per base relation, the epoch of its last
+	// known content change: external caches validate a head entry cached
+	// at epoch e by checking no relation in its read-set changed after e
+	// (DataFresh). relGens records each relation's storage generation
+	// counter as of the last cache turnover, so Commit can derive the
+	// touched-relation set even for direct Database() mutations that
+	// bypassed the journaled API. Both guarded by mu.
+	relEpochs map[string]int64
+	relGens   map[string]uint64
+
 	// Durability (nil/zero when the system is purely in-memory; see
 	// durable.go). wal is the attached commit log: journaled mutations
 	// append to it before touching the store, all under the exclusive
@@ -76,11 +87,60 @@ type System struct {
 func NewSystem(s *schema.Schema) *System {
 	store := fixity.NewStore(s)
 	reg := citation.NewRegistry(s)
-	return &System{
-		store: store,
-		reg:   reg,
-		gen:   citation.NewGenerator(reg, store.Head()),
+	sys := &System{
+		store:     store,
+		reg:       reg,
+		gen:       citation.NewGenerator(reg, store.Head()),
+		relEpochs: make(map[string]int64),
+		relGens:   make(map[string]uint64),
 	}
+	sys.syncRelGensLocked()
+	return sys
+}
+
+// syncRelGensLocked records every head relation's current storage
+// generation as the "caches are consistent with this" baseline, so the
+// next Commit's touched-relation diff starts here. Called with the
+// exclusive lock held, or before the system is shared.
+func (s *System) syncRelGensLocked() {
+	head := s.store.Head()
+	for _, name := range head.Schema().Names() {
+		s.relGens[name] = head.Relation(name).Generation()
+	}
+}
+
+// touchedLocked derives the set of relations whose content changed since
+// the last cache turnover, by diffing each head relation's storage
+// generation against the recorded baseline — this catches journaled
+// mutations and direct Database() writes alike — and advances the
+// baseline. Called with the exclusive lock held.
+func (s *System) touchedLocked() []string {
+	head := s.store.Head()
+	var touched []string
+	for _, name := range head.Schema().Names() {
+		if g := head.Relation(name).Generation(); g != s.relGens[name] {
+			touched = append(touched, name)
+			s.relGens[name] = g
+		}
+	}
+	return touched
+}
+
+// DataFresh reports whether none of the given base relations changed
+// content after epoch since: a cached head citation computed at epoch
+// since whose read-set is rels is still byte-identical to a fresh
+// recomputation exactly when DataFresh(rels, since) holds. Relations the
+// system has never seen change are always fresh. The server's result
+// cache validates surviving entries with this check (DESIGN.md §3, §5).
+func (s *System) DataFresh(rels []string, since int64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r := range rels {
+		if s.relEpochs[r] > since {
+			return false
+		}
+	}
+	return true
 }
 
 // NewSystemFromDatabase wraps an already-loaded database (e.g. from the
@@ -98,6 +158,7 @@ func NewSystemFromDatabase(db *storage.Database) *System {
 		})
 	}
 	head.BuildIndexes()
+	sys.syncRelGensLocked()
 	return sys
 }
 
@@ -193,6 +254,10 @@ func (s *System) SetPolicy(p policy.Policy) {
 	s.cfg++
 	s.polName = ""
 	s.gen.SetPolicy(p)
+	// A policy change alters citation semantics, not data: there is no
+	// touched-relation set that bounds its blast radius, so the delta
+	// invalidation rule falls back to the full flush (DESIGN.md §3).
+	s.gen.InvalidateCache()
 }
 
 // SetParallelism sets the *default* bound for the worker pools used by
@@ -264,6 +329,11 @@ func (s *System) DefineView(viewSrc string, static format.Record, specs ...Citat
 	}
 	s.epoch++
 	s.cfg++
+	// A view definition changes which rewritings exist — semantics, not
+	// data — so cached plans, materializations and resolved records flush
+	// wholesale: the DefineView/SetPolicy exception to delta invalidation
+	// (DESIGN.md §3).
+	s.gen.InvalidateCache()
 	return nil
 }
 
@@ -275,11 +345,14 @@ type CitationSpec struct {
 }
 
 // Commit snapshots the head as a new immutable version and atomically
-// invalidates the generator's materialization and citation-record caches:
-// no Cite call is in flight while the caches turn over, so a citation is
-// always generated against a consistent cache generation. Commit is the
-// synchronization point after mutating the head database directly (for
-// incremental maintenance without commits, see package evolution).
+// evicts the generator cache entries that depend on a relation this
+// commit touched — everything else stays warm: no Cite call is in flight
+// while the caches turn over, so a citation is always generated against
+// a consistent cache generation. Commit is the synchronization point
+// after mutating the head database directly (for incremental maintenance
+// without commits, see package evolution); the touched-relation set is
+// derived from per-relation storage generations, so direct writes are
+// detected exactly like journaled ones.
 //
 // On a durable system the commit is journaled — version number,
 // UTC timestamp, message, tuple count and the canonical database digest
@@ -305,10 +378,21 @@ func (s *System) Commit(message string) fixity.VersionInfo {
 // already landed durably; the error is surfaced so operators see the
 // disk problem before the log grows without bound.
 func (s *System) CommitVersioned(message string) (fixity.VersionInfo, int64, error) {
+	info, epoch, _, err := s.CommitDelta(message)
+	return info, epoch, err
+}
+
+// CommitDelta is CommitVersioned returning, in addition, the commit's
+// touched-relation set: the base relations whose content changed since
+// the previous cache turnover (journaled batches and direct head writes
+// alike). Servers feed it to their result cache's purgeTouched so only
+// entries reading a touched relation are evicted; a data-less commit
+// returns an empty set and keeps every cached citation warm.
+func (s *System) CommitDelta(message string) (fixity.VersionInfo, int64, []string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.readOnly {
-		return fixity.VersionInfo{}, s.epoch, fmt.Errorf("core: system was opened read-only")
+		return fixity.VersionInfo{}, s.epoch, nil, fmt.Errorf("core: system was opened read-only")
 	}
 	var info fixity.VersionInfo
 	if s.wal == nil {
@@ -321,7 +405,7 @@ func (s *System) CommitVersioned(message string) (fixity.VersionInfo, int64, err
 		// boot (replay rebuilds different contents and fails the digest
 		// check). Failing here is loud and immediate instead.
 		if g := head.MutationGen(); g != s.walGen {
-			return fixity.VersionInfo{}, s.epoch, fmt.Errorf(
+			return fixity.VersionInfo{}, s.epoch, nil, fmt.Errorf(
 				"core: head was mutated outside the journaled API (direct Database() writes?); durable systems must mutate through System.Insert/Delete")
 		}
 		info = fixity.VersionInfo{
@@ -338,23 +422,31 @@ func (s *System) CommitVersioned(message string) (fixity.VersionInfo, int64, err
 			Digest:    fixity.DatabaseDigest(head),
 		}
 		if _, err := s.wal.Append(durable.Entry{Type: durable.EntryCommit, Commit: meta}, true); err != nil {
-			return fixity.VersionInfo{}, s.epoch, fmt.Errorf("core: journal: %w", err)
+			return fixity.VersionInfo{}, s.epoch, nil, fmt.Errorf("core: journal: %w", err)
 		}
 		if err := s.store.RestoreCommit(info); err != nil {
-			return fixity.VersionInfo{}, s.epoch, err
+			return fixity.VersionInfo{}, s.epoch, nil, err
 		}
 	}
-	s.gen.InvalidateCache()
+	// Delta-aware invalidation: evict only the generator cache entries
+	// that depend on a relation this commit touched (detected by
+	// generation diff, so direct head writes count), and record each
+	// touched relation's last-change epoch for external cache validation.
+	touched := s.touchedLocked()
 	s.epoch++
+	for _, r := range touched {
+		s.relEpochs[r] = s.epoch
+	}
+	s.gen.InvalidateTouched(touched)
 	if s.wal != nil && s.walOpts.CheckpointEvery > 0 {
 		s.commitsSinceCkpt++
 		if s.commitsSinceCkpt >= s.walOpts.CheckpointEvery {
 			if err := s.checkpointLocked(); err != nil {
-				return info, s.epoch, fmt.Errorf("core: checkpoint after commit %d: %w", info.Version, err)
+				return info, s.epoch, touched, fmt.Errorf("core: checkpoint after commit %d: %w", info.Version, err)
 			}
 		}
 	}
-	return info, s.epoch, nil
+	return info, s.epoch, touched, nil
 }
 
 // Citation is the complete outcome of citing a query: the structural

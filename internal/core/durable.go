@@ -178,6 +178,10 @@ func Open(dir string, opts DurableOptions) (*System, error) {
 
 	head.BuildIndexes()
 	sys.gen.InvalidateCache()
+	// Replay mutated relations past the construction-time baseline; the
+	// caches are empty now, so re-baseline: the first post-recovery commit
+	// must not mistake replayed history for fresh deltas.
+	sys.syncRelGensLocked()
 	sys.recoveryDur = time.Since(start)
 	sys.recoveredVer = sys.store.Latest()
 	sys.readOnly = opts.ReadOnly
@@ -213,6 +217,7 @@ func (s *System) applyEntry(e durable.Entry) error {
 			return err
 		}
 		s.epoch++
+		s.relEpochs[e.Relation] = s.epoch
 	case durable.EntryDelete:
 		r := head.Relation(e.Relation)
 		if r == nil {
@@ -222,6 +227,7 @@ func (s *System) applyEntry(e durable.Entry) error {
 			return err
 		}
 		s.epoch++
+		s.relEpochs[e.Relation] = s.epoch
 	case durable.EntryCommit:
 		if err := s.restoreVersion(e.Commit); err != nil {
 			return err
@@ -479,7 +485,14 @@ func (s *System) mutate(relation string, tuples []storage.Tuple, typ durable.Ent
 		s.walGen = s.store.Head().MutationGen()
 	}
 	s.epoch++
-	s.gen.InvalidateCache()
+	if n > 0 {
+		// Delta-aware invalidation: only entries reading this relation
+		// turn over; everything else stays warm. A no-op batch (all
+		// duplicates / absent tuples) changes nothing and evicts nothing.
+		s.relEpochs[relation] = s.epoch
+		s.relGens[relation] = r.Generation()
+		s.gen.InvalidateTouched([]string{relation})
+	}
 	return n, nil
 }
 
@@ -506,6 +519,8 @@ func (s *System) SetPolicyNamed(name string) error {
 	s.epoch++
 	s.cfg++
 	s.gen.SetPolicy(p)
+	// Semantic change: full flush, like SetPolicy (DESIGN.md §3).
+	s.gen.InvalidateCache()
 	s.polName = name
 	return nil
 }

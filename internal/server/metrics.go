@@ -108,8 +108,26 @@ func (m *serverMetrics) render(w *strings.Builder, s *Server) {
 	fmt.Fprintf(w, "citeserved_cache_coalesced_total %d\n", cs.Coalesced)
 	counter("citeserved_cache_evictions_total", "Cache entries evicted at capacity.")
 	fmt.Fprintf(w, "citeserved_cache_evictions_total %d\n", cs.Evictions)
+	counter("citeserved_result_cache_kept_total", "Head entries that survived a commit/ingest because their read-set was untouched.")
+	fmt.Fprintf(w, "citeserved_result_cache_kept_total %d\n", cs.Kept)
+	counter("citeserved_result_cache_evicted_total", "Head entries invalidated because a commit/ingest touched a relation they read.")
+	fmt.Fprintf(w, "citeserved_result_cache_evicted_total %d\n", cs.Invalidated)
 	gauge("citeserved_cache_entries", "Cached citation results.")
 	fmt.Fprintf(w, "citeserved_cache_entries %d\n", cs.Entries)
+
+	gc := s.sys.Generator().Counters()
+	counter("citeserved_plan_cache_kept_total", "Compiled plans that survived a delta invalidation.")
+	fmt.Fprintf(w, "citeserved_plan_cache_kept_total %d\n", gc.PlansKept)
+	counter("citeserved_plan_cache_evicted_total", "Compiled plans evicted by a delta invalidation.")
+	fmt.Fprintf(w, "citeserved_plan_cache_evicted_total %d\n", gc.PlansEvicted)
+	counter("citeserved_view_cache_kept_total", "Materialized views that survived a delta invalidation.")
+	fmt.Fprintf(w, "citeserved_view_cache_kept_total %d\n", gc.ViewsKept)
+	counter("citeserved_view_cache_evicted_total", "Materialized views evicted by a delta invalidation.")
+	fmt.Fprintf(w, "citeserved_view_cache_evicted_total %d\n", gc.ViewsEvicted)
+	counter("citeserved_atom_cache_kept_total", "Atom-cache entries that survived a delta invalidation.")
+	fmt.Fprintf(w, "citeserved_atom_cache_kept_total %d\n", gc.AtomsKept)
+	counter("citeserved_atom_cache_evicted_total", "Atom-cache entries evicted by a delta invalidation.")
+	fmt.Fprintf(w, "citeserved_atom_cache_evicted_total %d\n", gc.AtomsEvicted)
 
 	counter("citeserved_rejected_total", "Requests rejected by admission control.")
 	fmt.Fprintf(w, "citeserved_rejected_total %d\n", m.rejected.Load())

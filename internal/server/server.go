@@ -2,11 +2,14 @@
 // paper's framing of citation generation as a service a repository runs
 // against its live, evolving database (§1: citations "generated
 // on-the-fly", §3: serving many users over shared views). It exposes the
-// engine as HTTP/JSON endpoints behind a version-keyed LRU result cache
-// with request coalescing: a hot query is computed exactly once per
-// store version no matter how many clients demand it concurrently, and a
-// commit invalidates every cached result atomically by bumping the
-// system epoch the cache keys on (DESIGN.md §3, §5).
+// engine as HTTP/JSON endpoints behind a dependency-validated LRU result
+// cache with request coalescing: a hot query is computed exactly once no
+// matter how many clients demand it concurrently, and a commit
+// invalidates only the cached results whose relation read-set
+// (CiteResult.Reads) intersects the relations the commit actually
+// touched — everything else stays warm across writes (DESIGN.md §3, §5).
+// DefineView/SetPolicy change citation semantics and flush everything by
+// bumping the configuration generation the cache keys on.
 //
 // Endpoints:
 //
@@ -203,18 +206,25 @@ func (s *Server) InvalidateCache() { s.cache.purge() }
 // CacheStats is a point-in-time snapshot of the result-cache counters.
 // Misses count engine computations: under coalescing, N concurrent
 // requests for the same query at the same version add exactly 1.
+// Evictions counts LRU capacity evictions; Kept and Invalidated account
+// delta invalidation — per commit/ingest, every head entry is counted
+// once as kept (read-set disjoint from the touched relations) or
+// invalidated (evicted because it read a touched relation).
 type CacheStats struct {
 	Hits, Misses, Coalesced, Evictions, Entries int64
+	Kept, Invalidated                           int64
 }
 
 // CacheStats snapshots the result-cache counters.
 func (s *Server) CacheStats() CacheStats {
 	return CacheStats{
-		Hits:      s.cache.hits.Load(),
-		Misses:    s.cache.misses.Load(),
-		Coalesced: s.cache.coalesced.Load(),
-		Evictions: s.cache.evictions.Load(),
-		Entries:   int64(s.cache.len()),
+		Hits:        s.cache.hits.Load(),
+		Misses:      s.cache.misses.Load(),
+		Coalesced:   s.cache.coalesced.Load(),
+		Evictions:   s.cache.evictions.Load(),
+		Entries:     int64(s.cache.len()),
+		Kept:        s.cache.kept.Load(),
+		Invalidated: s.cache.invalidated.Load(),
 	}
 }
 
@@ -238,7 +248,12 @@ type CiteResult struct {
 	Text   string        `json:"text,omitempty"`
 	Pin    *Pin          `json:"pin,omitempty"`
 	Cache  string        `json:"cache,omitempty"` // "hit", "miss" or "coalesced"
-	Error  string        `json:"error,omitempty"`
+	// Reads is the citation's relation read-set: the base relations the
+	// engine transitively read to produce it (citation.Result.Reads).
+	// Clients see which deltas can invalidate the citation; the server's
+	// result cache keys delta invalidation on it.
+	Reads []string `json:"reads,omitempty"`
+	Error string   `json:"error,omitempty"`
 }
 
 // NewCiteResult converts an engine citation into its wire form. It is
@@ -249,6 +264,7 @@ func NewCiteResult(query string, c *core.Citation) CiteResult {
 		Query:  query,
 		Record: c.Result.Record,
 		Text:   c.Text(),
+		Reads:  c.Result.Reads,
 	}
 	if c.Pin != nil {
 		out.Pin = &Pin{
@@ -435,18 +451,19 @@ type pendingResult struct {
 func (s *Server) citeBatch(ctx context.Context, queries []string, version fixity.Version, slot *slotRef) (results []CiteResult, errs []error, epoch int64, respVersion fixity.Version, timedOut bool) {
 	var config int64
 	epoch, config, respVersion = s.sys.Epochs()
+	// Every key carries the config generation: SetPolicy/DefineView orphan
+	// all entries at once. Head entries (version 0) survive commits and
+	// are validated per lookup against the relations they actually read —
+	// the delta invalidation rule; versioned entries are immutable and
+	// need no validation.
+	fresh := s.sys.DataFresh
 	results = make([]CiteResult, len(queries))
 	errs = make([]error, len(queries))
 	var pending []pendingResult
 	var owned []pendingResult
 	for i, q := range queries {
-		k := cacheKey{epoch: epoch, query: q}
-		if version > 0 {
-			// Versioned results are immutable under commits but not under
-			// configuration changes; the config generation keys that out.
-			k = cacheKey{epoch: config, version: version, query: q}
-		}
-		val, cached, cl, owner := s.cache.acquire(k)
+		k := cacheKey{epoch: config, version: version, query: q}
+		val, cached, cl, owner := s.cache.acquire(k, epoch, fresh)
 		if cached {
 			results[i] = val
 			results[i].Cache = "hit"
@@ -486,7 +503,7 @@ func (s *Server) citeBatch(ctx context.Context, queries []string, version fixity
 				if r := recover(); r != nil {
 					err := fmt.Errorf("%w: citation panicked: %v", errEngineFault, r)
 					for _, p := range owned[completed:] {
-						s.cache.complete(p.key, p.call, CiteResult{}, err)
+						s.cache.complete(p.key, p.call, CiteResult{}, err, fresh)
 					}
 				}
 			}()
@@ -500,7 +517,7 @@ func (s *Server) citeBatch(ctx context.Context, queries []string, version fixity
 				if err == nil {
 					val = NewCiteResult(batch[j], cites[j])
 				}
-				s.cache.complete(p.key, p.call, val, err)
+				s.cache.complete(p.key, p.call, val, err, fresh)
 				completed = j + 1
 			}
 		}()
@@ -558,19 +575,22 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	if req.Message == "" {
 		req.Message = "citeserved commit"
 	}
-	// CommitVersioned pairs the commit with the epoch it produced; a
-	// racing second commit cannot make this response claim its epoch.
-	info, epoch, err := s.sys.CommitVersioned(req.Message)
+	// CommitDelta pairs the commit with the epoch it produced — a racing
+	// second commit cannot make this response claim its epoch — and with
+	// the set of relations it touched.
+	info, epoch, touched, err := s.sys.CommitDelta(req.Message)
 	if err != nil {
 		// Journal/checkpoint failures are the server's disk, not the
 		// client's request.
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	// The epoch bump already orphans every epoch-keyed entry; purge them
-	// to release the memory immediately. Version-pinned entries are
-	// immutable results and deliberately survive the commit.
-	s.cache.purgeEpochKeyed()
+	// Delta invalidation: evict only the cached citations that read a
+	// touched relation; every other head entry stays warm across the
+	// commit, and version-pinned entries are immutable anyway. Freshness
+	// validation at lookup already guarantees correctness — the purge
+	// releases memory promptly and keeps the kept/evicted counters exact.
+	s.cache.purgeTouched(touched)
 	writeJSON(w, http.StatusOK, struct {
 		Epoch int64 `json:"epoch"`
 		versionInfo
@@ -776,6 +796,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp := ingestResponse{Batches: make([]ingestBatchResult, 0, len(work))}
+	touched := make([]string, 0, len(work))
 	for _, d := range work {
 		res := ingestBatchResult{Relation: d.relation}
 		if len(d.delete) > 0 {
@@ -798,11 +819,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		resp.Inserted += res.Inserted
 		resp.Deleted += res.Deleted
 		resp.Batches = append(resp.Batches, res)
+		if res.Inserted > 0 || res.Deleted > 0 {
+			touched = append(touched, d.relation)
+		}
 	}
-	// The epoch bump already orphans epoch-keyed entries; purge them to
-	// release memory, exactly as /commit does. Version-pinned entries
-	// target immutable snapshots and survive.
-	s.cache.purgeEpochKeyed()
+	// Scope the purge to the relations this ingest actually changed:
+	// cached citations over untouched relations stay warm (a no-op batch
+	// evicts nothing), exactly as /commit does for its touched set.
+	// Version-pinned entries target immutable snapshots and survive.
+	s.cache.purgeTouched(touched)
 	resp.Epoch = s.sys.Version()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -992,3 +992,133 @@ func TestServerCrashRecoveryByteIdentical(t *testing.T) {
 		}
 	}
 }
+
+const introQuery = "Q(Text) :- FamilyIntro(FID, Text)"
+
+// TestCommitKeepsUntouchedEntries pins the delta invalidation rule on
+// /commit: a commit touching only FamilyIntro evicts the cached
+// FamilyIntro citation but keeps the Family/Committee one warm — the
+// repeat cite is a hit, not a recomputation.
+func TestCommitKeepsUntouchedEntries(t *testing.T) {
+	srv, ts := paperServer(t, Options{})
+	client := ts.Client()
+
+	var fam, intro citeResponse
+	_, body := postJSON(t, client, ts.URL+"/cite", citeRequest{Query: paperQuery})
+	if err := json.Unmarshal(body, &fam); err != nil {
+		t.Fatal(err)
+	}
+	_, body = postJSON(t, client, ts.URL+"/cite", citeRequest{Query: introQuery})
+	if err := json.Unmarshal(body, &intro); err != nil {
+		t.Fatal(err)
+	}
+	// The read-sets the cache scopes eviction by travel in the response.
+	if got := fam.Result.Reads; len(got) != 2 || got[0] != "Committee" || got[1] != "Family" {
+		t.Fatalf("family reads = %v, want [Committee Family]", got)
+	}
+	if got := intro.Result.Reads; len(got) != 1 || got[0] != "FamilyIntro" {
+		t.Fatalf("intro reads = %v, want [FamilyIntro]", got)
+	}
+
+	db := srv.System().Database()
+	if err := db.Insert("FamilyIntro", value.Int(13), value.String("3rd")); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, client, ts.URL+"/commit", commitRequest{Message: "intro only"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("commit: %d: %s", resp.StatusCode, body)
+	}
+
+	// Untouched relations: served from the surviving entry.
+	var famAfter citeResponse
+	_, body = postJSON(t, client, ts.URL+"/cite", citeRequest{Query: paperQuery})
+	if err := json.Unmarshal(body, &famAfter); err != nil {
+		t.Fatal(err)
+	}
+	if famAfter.Result.Cache != "hit" {
+		t.Errorf("family cite after intro-only commit: cache %q, want hit", famAfter.Result.Cache)
+	}
+	if famAfter.Result.Text != fam.Result.Text {
+		t.Errorf("surviving entry changed text:\n got %s\nwant %s", famAfter.Result.Text, fam.Result.Text)
+	}
+	// Touched relation: recomputed against the new data.
+	var introAfter citeResponse
+	_, body = postJSON(t, client, ts.URL+"/cite", citeRequest{Query: introQuery})
+	if err := json.Unmarshal(body, &introAfter); err != nil {
+		t.Fatal(err)
+	}
+	if introAfter.Result.Cache != "miss" {
+		t.Errorf("intro cite after intro commit: cache %q, want miss", introAfter.Result.Cache)
+	}
+	if introAfter.Result.Pin.SHA256 == intro.Result.Pin.SHA256 {
+		t.Error("intro digest unchanged after new tuple — stale result")
+	}
+
+	stats := srv.CacheStats()
+	if stats.Kept < 1 {
+		t.Errorf("kept = %d, want >= 1 (the family entry)", stats.Kept)
+	}
+	if stats.Invalidated < 1 {
+		t.Errorf("invalidated = %d, want >= 1 (the intro entry)", stats.Invalidated)
+	}
+	// The counters surface on /metrics for the CI smoke to assert on.
+	metrics := getText(t, client, ts.URL+"/metrics")
+	if !strings.Contains(metrics, "citeserved_result_cache_kept_total") ||
+		!strings.Contains(metrics, "citeserved_result_cache_evicted_total") ||
+		!strings.Contains(metrics, "citeserved_plan_cache_kept_total") {
+		t.Error("delta-invalidation counters missing from /metrics")
+	}
+}
+
+// TestIngestScopedPurge pins the delta rule on /ingest: ingesting into
+// Family evicts only Family-reading entries, and a batch that applies no
+// changes (deleting an absent tuple) evicts nothing at all.
+func TestIngestScopedPurge(t *testing.T) {
+	_, ts := paperServer(t, Options{})
+	client := ts.Client()
+
+	for _, q := range []string{paperQuery, introQuery} {
+		if resp, body := postJSON(t, client, ts.URL+"/cite", citeRequest{Query: q}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("prime %q: %d: %s", q, resp.StatusCode, body)
+		}
+	}
+
+	resp, body := postJSON(t, client, ts.URL+"/ingest", map[string]any{
+		"relation": "Family", "insert": [][]any{{77, "Amylin", "A1"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d: %s", resp.StatusCode, body)
+	}
+
+	var intro, fam citeResponse
+	_, body = postJSON(t, client, ts.URL+"/cite", citeRequest{Query: introQuery})
+	if err := json.Unmarshal(body, &intro); err != nil {
+		t.Fatal(err)
+	}
+	if intro.Result.Cache != "hit" {
+		t.Errorf("intro cite after Family ingest: cache %q, want hit (scoped purge)", intro.Result.Cache)
+	}
+	_, body = postJSON(t, client, ts.URL+"/cite", citeRequest{Query: paperQuery})
+	if err := json.Unmarshal(body, &fam); err != nil {
+		t.Fatal(err)
+	}
+	if fam.Result.Cache != "miss" {
+		t.Errorf("family cite after Family ingest: cache %q, want miss", fam.Result.Cache)
+	}
+
+	// A no-op delta: deleting an absent tuple applies nothing, so even
+	// the Family entry just recomputed stays warm.
+	resp, body = postJSON(t, client, ts.URL+"/ingest", map[string]any{
+		"relation": "Family", "delete": [][]any{{999, "None", "X"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("no-op ingest: %d: %s", resp.StatusCode, body)
+	}
+	_, body = postJSON(t, client, ts.URL+"/cite", citeRequest{Query: paperQuery})
+	if err := json.Unmarshal(body, &fam); err != nil {
+		t.Fatal(err)
+	}
+	if fam.Result.Cache != "hit" {
+		t.Errorf("family cite after no-op ingest: cache %q, want hit", fam.Result.Cache)
+	}
+}

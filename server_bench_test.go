@@ -21,7 +21,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/server"
@@ -129,5 +131,146 @@ func benchServerCite(b *testing.B, path string) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkMixedReadWrite measures what delta-aware invalidation buys
+// under a read/write mix: N client goroutines drain the E10 query mix
+// while a writer ingests single-relation Family deltas and commits at a
+// fixed cadence. With dependency-scoped invalidation, queries that do
+// not read Family (Q3, over FamilyIntro) keep hitting the result cache
+// across commits; the per-op metric untouched-hit-rate reports the
+// fraction of those requests served from cache (the acceptance bar is
+// >0.90). Under epoch-keyed invalidation this rate collapses toward 0 —
+// every commit flushed everything.
+func BenchmarkMixedReadWrite(b *testing.B) {
+	sys, err := experiments.GtoPdbSystem(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Commit("bench base")
+	srv := server.New(sys, server.Options{CacheSize: 4096})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := experiments.E10Workload()
+	const untouchedIdx = 2 // Q3 reads only FamilyIntro; the writer touches Family
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		body, err := json.Marshal(map[string]string{"query": q})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+
+	post := func(client *http.Client, path string, body []byte) ([]byte, error) {
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, out)
+		}
+		return out, nil
+	}
+
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients-%d", clients), func(b *testing.B) {
+			// Prime the cache so the steady state starts warm.
+			for i := range queries {
+				if _, err := post(ts.Client(), "/cite", bodies[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			stopWriter := make(chan struct{})
+			var writerWG sync.WaitGroup
+			writerWG.Add(1)
+			go func() {
+				defer writerWG.Done()
+				client := ts.Client()
+				tick := time.NewTicker(2 * time.Millisecond)
+				defer tick.Stop()
+				commitBody, _ := json.Marshal(map[string]string{"message": "delta"})
+				for fid := 1_000_000; ; fid++ {
+					select {
+					case <-stopWriter:
+						return
+					case <-tick.C:
+					}
+					ingest, _ := json.Marshal(map[string]any{
+						"relation": "Family",
+						"insert":   [][]any{{fid, fmt.Sprintf("Bench %d", fid), "D"}},
+					})
+					if _, err := post(client, "/ingest", ingest); err != nil {
+						return
+					}
+					if _, err := post(client, "/commit", commitBody); err != nil {
+						return
+					}
+				}
+			}()
+
+			var untouchedHits, untouchedTotal atomic.Int64
+			var wg sync.WaitGroup
+			next := make(chan int)
+			errs := make(chan error, clients)
+			for w := 0; w < clients; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					client := ts.Client()
+					failed := false
+					for i := range next {
+						if failed {
+							continue
+						}
+						qi := i % len(queries)
+						out, err := post(client, "/cite", bodies[qi])
+						if err != nil {
+							failed = true
+							select {
+							case errs <- err:
+							default:
+							}
+							continue
+						}
+						if qi == untouchedIdx {
+							var env struct {
+								Result struct {
+									Cache string `json:"cache"`
+								} `json:"result"`
+							}
+							if json.Unmarshal(out, &env) == nil {
+								untouchedTotal.Add(1)
+								if env.Result.Cache == "hit" {
+									untouchedHits.Add(1)
+								}
+							}
+						}
+					}
+				}()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				next <- i
+			}
+			close(next)
+			wg.Wait()
+			b.StopTimer()
+			close(stopWriter)
+			writerWG.Wait()
+			select {
+			case err := <-errs:
+				b.Fatal(err)
+			default:
+			}
+			if total := untouchedTotal.Load(); total > 0 {
+				b.ReportMetric(float64(untouchedHits.Load())/float64(total), "untouched-hit-rate")
+			}
+		})
 	}
 }

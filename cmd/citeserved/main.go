@@ -15,8 +15,19 @@
 //	           [-timeout 30s] [-compute-timeout 0] [-max-inflight 0]
 //	           [-parallelism 0] [-policy minsize|maxcoverage|all]
 //	           [-fsync always|on-commit|interval] [-checkpoint-every 0]
-//	           [-no-commit]
+//	           [-no-commit] [-trace-sample 1.0] [-trace-echo]
+//	           [-trace-ring 64] [-slow-query 0] [-slow-query-log file]
 //	citeserved -open dir [same serving flags]
+//	citeserved -version
+//
+// Observability: every request gets a latency histogram observation on
+// /metrics; sampled requests (-trace-sample, default all) additionally
+// carry a span trace through the citation pipeline, retained in an
+// in-memory ring served on GET /debug/traces. Requests slower than
+// -slow-query are logged as JSON lines (to stderr, or -slow-query-log)
+// with their full span tree. -trace-echo lets clients append ?trace=1
+// to /cite and receive the span tree in the response envelope. pprof is
+// always mounted under /debug/pprof/.
 //
 // Durability: -spec with -data-dir initializes the directory from the
 // spec and journals every subsequent mutation (POST /ingest batches,
@@ -51,11 +62,14 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -83,7 +97,18 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "automatic checkpoint after every N commits (0 = only at shutdown)")
 	noCommit := flag.Bool("no-commit", false, "do not commit the loaded state (citations carry no fixity pin until POST /commit)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of /cite requests span-traced (0 = default 1.0, negative = off)")
+	traceEcho := flag.Bool("trace-echo", false, "allow clients to request their span tree with ?trace=1 on /cite")
+	traceRing := flag.Int("trace-ring", 0, "recent traces retained for GET /debug/traces (0 = default 64, negative = off)")
+	slowQuery := flag.Duration("slow-query", 0, "log requests at or over this duration with their span tree (0 = off)")
+	slowQueryLog := flag.String("slow-query-log", "", "append slow-query JSON lines to this file instead of stderr")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("citeserved %s %s\n", server.Version, runtime.Version())
+		return
+	}
 
 	switch {
 	case *specPath != "" && *openDir != "":
@@ -159,11 +184,26 @@ func main() {
 		sys.SetParallelism(*parallelism)
 	}
 
+	var slowLogW io.Writer
+	if *slowQueryLog != "" {
+		f, err := os.OpenFile(*slowQueryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("opening slow-query log: %v", err)
+		}
+		defer f.Close()
+		slowLogW = f
+	}
+
 	srv := server.New(sys, server.Options{
 		CacheSize:      *cacheSize,
 		RequestTimeout: *timeout,
 		ComputeTimeout: *computeTimeout,
 		MaxInFlight:    *maxInFlight,
+		TraceSample:    *traceSample,
+		TraceEcho:      *traceEcho,
+		TraceRing:      *traceRing,
+		SlowQuery:      *slowQuery,
+		SlowQueryLog:   slowLogW,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

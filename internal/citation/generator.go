@@ -17,6 +17,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/rewrite"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/value"
 )
 
@@ -468,22 +469,29 @@ func (g *Generator) CiteContext(ctx context.Context, q *cq.Query, req Request) (
 	g.touchVersion(req.Version)
 	res := &Result{Query: q}
 
+	// Stage: rewriting enumeration. The span records how many candidate
+	// rewritings the search examined and how many survived — the first
+	// place a slow /cite can burn time (combinatorial view sets).
+	_, rwSpan := trace.StartSpan(ctx, "rewrite")
 	rres, err := rewrite.Rewrite(q, g.reg.ViewQueries(), rewrite.Options{
 		Method:        method,
 		MaxRewritings: g.MaxRewritings,
 	})
 	if err != nil {
+		rwSpan.End()
 		return nil, err
 	}
 	rewritings := rres.Rewritings
 	res.Stats.CandidatesExamined = rres.CandidatesExamined
 	if len(rewritings) == 0 && g.AllowPartial {
+		rwSpan.Set("partial", true)
 		pres, err := rewrite.Rewrite(q, g.reg.ViewQueries(), rewrite.Options{
 			Method:        method,
 			MaxRewritings: g.MaxRewritings,
 			AllowPartial:  true,
 		})
 		if err != nil {
+			rwSpan.End()
 			return nil, err
 		}
 		res.Stats.CandidatesExamined += pres.CandidatesExamined
@@ -493,6 +501,9 @@ func (g *Generator) CiteContext(ctx context.Context, q *cq.Query, req Request) (
 			}
 		}
 	}
+	rwSpan.Add("candidates_examined", int64(res.Stats.CandidatesExamined))
+	rwSpan.Add("rewritings_found", int64(len(rewritings)))
+	rwSpan.End()
 	if len(rewritings) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrNoRewriting, q.Name)
 	}
@@ -513,7 +524,14 @@ func (g *Generator) CiteContext(ctx context.Context, q *cq.Query, req Request) (
 		return nil, err
 	}
 
-	branches, err := g.evalBranches(ctx, evalSet, db, req.Version, workers)
+	// Stage: annotated evaluation of the surviving rewritings. Each
+	// alternative gets its own child span ("branch") with its outcome;
+	// the eval package attaches tuples_examined / eval_workers to it.
+	evalCtx, evalSpan := trace.StartSpan(ctx, "eval")
+	evalSpan.Set("branches", len(evalSet))
+	evalSpan.Set("pruned", res.Stats.Pruned)
+	branches, err := g.evalBranches(evalCtx, evalSet, db, req.Version, workers)
+	evalSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -562,6 +580,14 @@ func (g *Generator) CiteContext(ctx context.Context, q *cq.Query, req Request) (
 		}
 	}
 
+	// Stage: policy aggregation — branch selection, citation-atom
+	// resolution (the atom cache lives under it) and the Agg fold.
+	_, polSpan := trace.StartSpan(ctx, "policy")
+	defer func() {
+		polSpan.Add("atoms_resolved", int64(res.Stats.AtomsResolved))
+		polSpan.End()
+	}()
+	polSpan.Set("tuples", len(tuples))
 	resolver := g.resolverAt(db, req.Version, &res.Stats)
 	var aggChildren []citeexpr.Expr
 	records := make([]format.Record, 0, len(tuples))
@@ -655,19 +681,32 @@ func (g *Generator) readSet(rewritings []*rewrite.Rewriting) []string {
 // branch with ctx.Err().
 func (g *Generator) evalBranches(ctx context.Context, evalSet []*rewrite.Rewriting, db *storage.Database, ver, workers int) ([]branch, error) {
 	annot := g.annotator()
-	evalOne := func(rw *rewrite.Rewriting, innerWorkers int) (branch, error) {
-		inst, err := g.instanceFor(rw, db, ver)
+	evalOne := func(idx int, rw *rewrite.Rewriting, innerWorkers int) (branch, error) {
+		// One span per alternative rewriting: view materializations,
+		// plan compilation and the enumeration itself nest under it, so
+		// a trace shows which alternative cost what. Branches may run
+		// concurrently — sibling spans are mutex-appended to "eval".
+		bctx, bsp := trace.StartSpan(ctx, "branch")
+		defer bsp.End()
+		bsp.Set("alt", idx)
+		bsp.Set("views", len(rw.ViewAtoms))
+		bsp.Set("base_atoms", len(rw.BaseAtoms))
+		inst, err := g.instanceFor(bctx, rw, db, ver)
 		if err != nil {
+			bsp.Set("outcome", "materialize-error")
 			return branch{}, err
 		}
-		plan, err := g.planFor(ver, inst, rw.AsQuery("rw"))
+		plan, err := g.planFor(bctx, ver, inst, rw.AsQuery("rw"))
 		if err != nil {
+			bsp.Set("outcome", "compile-error")
 			return branch{}, err
 		}
-		annotated, err := eval.RunAnnotatedParallelCtx[citeexpr.Expr](ctx, plan, citeexpr.Semiring{}, annot, innerWorkers)
+		annotated, err := eval.RunAnnotatedParallelCtx[citeexpr.Expr](bctx, plan, citeexpr.Semiring{}, annot, innerWorkers)
 		if err != nil {
+			bsp.Set("outcome", "eval-error")
 			return branch{}, err
 		}
+		bsp.Set("outcome", "ok")
 		b := branch{annotated: annotated}
 		for _, a := range annotated {
 			b.ix.AddOwned(a.Tuple)
@@ -677,7 +716,7 @@ func (g *Generator) evalBranches(ctx context.Context, evalSet []*rewrite.Rewriti
 
 	branches := make([]branch, len(evalSet))
 	if len(evalSet) == 1 {
-		b, err := evalOne(evalSet[0], workers)
+		b, err := evalOne(0, evalSet[0], workers)
 		if err != nil {
 			return nil, err
 		}
@@ -686,7 +725,7 @@ func (g *Generator) evalBranches(ctx context.Context, evalSet []*rewrite.Rewriti
 	}
 	if workers <= 1 {
 		for i, rw := range evalSet {
-			b, err := evalOne(rw, 1)
+			b, err := evalOne(i, rw, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -704,7 +743,7 @@ func (g *Generator) evalBranches(ctx context.Context, evalSet []*rewrite.Rewriti
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			branches[i], errs[i] = evalOne(rw, 1)
+			branches[i], errs[i] = evalOne(i, rw, 1)
 		}(i, rw)
 	}
 	wg.Wait()
@@ -742,14 +781,18 @@ func (g *Generator) CiteTuple(q *cq.Query, t storage.Tuple) (*TupleCitation, err
 // covering them. Snapshot-keyed plans reference frozen relations and
 // never go stale. A compilation race is benign — the last writer wins
 // and every compiled plan is correct.
-func (g *Generator) planFor(ver int, inst eval.Instance, q *cq.Query) (*eval.Plan, error) {
+func (g *Generator) planFor(ctx context.Context, ver int, inst eval.Instance, q *cq.Query) (*eval.Plan, error) {
+	_, sp := trace.StartSpan(ctx, "plan")
+	defer sp.End()
 	key := genKey{ver, q.Signature()}
 	g.planMu.Lock()
 	e := g.planCache[key]
 	g.planMu.Unlock()
 	if e != nil {
+		sp.Set("cache", "hit")
 		return e.plan, nil
 	}
+	sp.Set("cache", "compiled")
 	p, err := eval.Compile(inst, q)
 	if err != nil {
 		return nil, err
@@ -763,13 +806,13 @@ func (g *Generator) planFor(ver int, inst eval.Instance, q *cq.Query) (*eval.Pla
 // instanceFor materializes (with caching, namespaced by ver) the view
 // instances a rewriting references and combines them with db for residual
 // atoms.
-func (g *Generator) instanceFor(rw *rewrite.Rewriting, db *storage.Database, ver int) (eval.Instance, error) {
+func (g *Generator) instanceFor(ctx context.Context, rw *rewrite.Rewriting, db *storage.Database, ver int) (eval.Instance, error) {
 	rels := make(eval.Relations)
 	for _, va := range rw.ViewAtoms {
 		if _, done := rels[va.ViewName]; done {
 			continue
 		}
-		mat, err := g.materializeAt(db, ver, va.ViewName)
+		mat, err := g.materializeAt(ctx, db, ver, va.ViewName)
 		if err != nil {
 			return nil, err
 		}
@@ -795,7 +838,7 @@ func (l layeredInstance) Relation(name string) *storage.Relation {
 // materialize evaluates the named view over the generator's head database
 // with singleflight caching; see materializeAt.
 func (g *Generator) materialize(viewName string) (*storage.Relation, error) {
-	return g.materializeAt(g.db, 0, viewName)
+	return g.materializeAt(context.Background(), g.db, 0, viewName)
 }
 
 // touchVersion records a use of the versioned cache namespace ver and,
@@ -860,14 +903,23 @@ func (g *Generator) evictVersion(ver int) {
 // Materialization always runs to completion — it is shared work, so no
 // caller's context may cancel it for the others. A failed materialization
 // is not cached, so transient errors are retried on next demand.
-func (g *Generator) materializeAt(db *storage.Database, ver int, viewName string) (*storage.Relation, error) {
+//
+// The span covers the singleflight wait as well as the evaluation: a
+// "hit" with a long duration means this request blocked on another
+// goroutine's in-flight materialization of the same view.
+func (g *Generator) materializeAt(ctx context.Context, db *storage.Database, ver int, viewName string) (*storage.Relation, error) {
+	_, sp := trace.StartSpan(ctx, "views")
+	defer sp.End()
+	sp.Set("view", viewName)
 	key := genKey{ver, viewName}
 	g.viewMu.Lock()
 	if e, ok := g.viewCache[key]; ok {
 		g.viewMu.Unlock()
+		sp.Set("cache", "hit")
 		<-e.ready
 		return e.rel, e.err
 	}
+	sp.Set("cache", "miss")
 	e := &viewEntry{ready: make(chan struct{}), deps: g.reg.QueryDeps(viewName)}
 	g.viewCache[key] = e
 	g.viewMu.Unlock()

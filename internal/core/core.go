@@ -24,6 +24,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/schema"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // System is a citation-enabled database: a versioned store plus a view
@@ -480,7 +481,9 @@ func (s *System) Cite(querySrc string) (*Citation, error) {
 // and returns ctx.Err(). A malformed query reports an error satisfying
 // errors.Is(err, cq.ErrBadQuery).
 func (s *System) CiteContext(ctx context.Context, querySrc string, opts ...CiteOption) (*Citation, error) {
+	_, sp := trace.StartSpan(ctx, "parse")
 	q, err := cq.Parse(querySrc)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: query: %w", err)
 	}
@@ -528,7 +531,10 @@ func (s *System) CiteQueryContext(ctx context.Context, q *cq.Query, opts ...Cite
 		}
 		out := &Citation{Result: res}
 		if !cfg.noPin {
-			_, pin, err := s.store.ExecuteContext(ctx, q, cfg.version)
+			pinCtx, pinSpan := trace.StartSpan(ctx, "fixity")
+			pinSpan.Set("version", int(cfg.version))
+			_, pin, err := s.store.ExecuteContext(pinCtx, q, cfg.version)
+			pinSpan.End()
 			if err != nil {
 				return nil, err
 			}
@@ -546,7 +552,10 @@ func (s *System) CiteQueryContext(ctx context.Context, q *cq.Query, opts ...Cite
 	out := &Citation{Result: res}
 	if !cfg.noPin {
 		if v := s.store.Latest(); v > 0 {
-			_, pin, err := s.store.ExecuteContext(ctx, q, v)
+			pinCtx, pinSpan := trace.StartSpan(ctx, "fixity")
+			pinSpan.Set("version", int(v))
+			_, pin, err := s.store.ExecuteContext(pinCtx, q, v)
+			pinSpan.End()
 			if err != nil {
 				return nil, err
 			}
@@ -611,6 +620,7 @@ func (s *System) CiteEachContext(ctx context.Context, queries []string, opts ...
 	qs := make([]*cq.Query, len(queries))
 	out = make([]*Citation, len(queries))
 	errs = make([]error, len(queries))
+	_, sp := trace.StartSpan(ctx, "parse")
 	for i, src := range queries {
 		q, err := cq.Parse(src)
 		if err != nil {
@@ -619,6 +629,8 @@ func (s *System) CiteEachContext(ctx context.Context, queries []string, opts ...
 		}
 		qs[i] = q
 	}
+	sp.Add("queries", int64(len(queries)))
+	sp.End()
 	s.citeBatch(ctx, qs, out, errs, opts)
 	return out, errs
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/semiring"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // minLeadingPerWorker is the smallest number of leading-atom tuples worth
@@ -59,6 +60,7 @@ func RunAnnotatedParallelCtx[T any](ctx context.Context, p *Plan, sr semiring.Se
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	sp := trace.SpanFromContext(ctx)
 	if workers <= 1 {
 		// Sequential run: leave leading nil so step 0 enumerates through
 		// the pooled candidate buffer instead of materializing a fresh
@@ -68,6 +70,7 @@ func RunAnnotatedParallelCtx[T any](ctx context.Context, p *Plan, sr semiring.Se
 		if err != nil {
 			return nil, err
 		}
+		recordEvalStats(sp, 1, acc.examined, acc.ix.Len())
 		return finishAnnotated(acc), nil
 	}
 	leading := p.leadingCandidates()
@@ -80,6 +83,7 @@ func RunAnnotatedParallelCtx[T any](ctx context.Context, p *Plan, sr semiring.Se
 		if err != nil {
 			return nil, err
 		}
+		recordEvalStats(sp, 1, acc.examined, acc.ix.Len())
 		return finishAnnotated(acc), nil
 	}
 
@@ -122,6 +126,7 @@ func RunAnnotatedParallelCtx[T any](ctx context.Context, p *Plan, sr semiring.Se
 		if r == nil {
 			continue
 		}
+		total.examined += r.examined
 		for i, t := range r.ix.tuples {
 			id, added := total.ix.AddOwned(t)
 			if added {
@@ -131,5 +136,20 @@ func RunAnnotatedParallelCtx[T any](ctx context.Context, p *Plan, sr semiring.Se
 			}
 		}
 	}
+	recordEvalStats(sp, workers, total.examined, total.ix.Len())
 	return finishAnnotated(total), nil
+}
+
+// recordEvalStats attaches the enumeration's work counters to the
+// current trace span, when one is active: candidate tuples examined
+// across all join depths (summed over workers), the parallelism
+// actually used after partitioning, and the distinct output tuples.
+// Nil-safe, so untraced runs pay nothing beyond the nil check.
+func recordEvalStats(sp *trace.Span, workers, examined, out int) {
+	if sp == nil {
+		return
+	}
+	sp.Add("tuples_examined", int64(examined))
+	sp.Set("eval_workers", workers)
+	sp.Add("out_tuples", int64(out))
 }

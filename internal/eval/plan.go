@@ -9,6 +9,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/semiring"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/value"
 )
 
@@ -90,6 +91,11 @@ type runState struct {
 	matched []storage.Tuple
 	cand    [][]storage.Tuple
 	headBuf storage.Tuple
+	// examined is the number of candidate tuples the last cancelable
+	// walk looked at across all join depths — the counter the walk
+	// already keeps to pace its context polls, surfaced for tracing.
+	// The poll-free forEach does not maintain it.
+	examined int
 }
 
 // Compile builds an execution plan for q over the instances supplied by
@@ -327,6 +333,7 @@ func (p *Plan) forEach(st *runState, leading []storage.Tuple, fn func(*runState)
 // whose fn always returns true can read false as "canceled".
 func (p *Plan) forEachCancel(ctx context.Context, st *runState, leading []storage.Tuple, fn func(*runState) bool) bool {
 	examined := 0
+	defer func() { st.examined = examined }()
 	var rec func(i int) bool
 	rec = func(i int) bool {
 		if i == len(p.steps) {
@@ -510,6 +517,9 @@ func (p *Plan) ForEachBinding(fn func(Binding) bool) {
 type annotAcc[T any] struct {
 	ix   TupleIndex
 	anns []T
+	// examined counts the candidate tuples the walk looked at (only on
+	// the cancelable/traced path; 0 on the poll-free path).
+	examined int
 }
 
 // accumBinding folds one satisfying assignment into the accumulator: the
@@ -554,7 +564,10 @@ const cancelCheckMask = 255
 // every join depth), aborting promptly with ctx.Err(). Contexts that can
 // never be canceled take the poll-free path.
 func runAnnotatedLeadingCtx[T any](ctx context.Context, p *Plan, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T, leading []storage.Tuple) (*annotAcc[T], error) {
-	if ctx.Done() == nil {
+	// The poll-free path skips the examined counter too; a context that
+	// carries a trace span takes the counting walk even when it cannot
+	// be canceled, so traced runs always report tuples_examined.
+	if ctx.Done() == nil && trace.SpanFromContext(ctx) == nil {
 		return runAnnotatedLeading(p, sr, annot, leading), nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -571,6 +584,7 @@ func runAnnotatedLeadingCtx[T any](ctx context.Context, p *Plan, sr semiring.Sem
 		// sticky) ctx.Err().
 		return nil, ctx.Err()
 	}
+	out.examined = st.examined
 	return out, nil
 }
 

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// registerDebug mounts the operator-facing debug surface: the recent-
+// trace ring on /debug/traces and the standard net/http/pprof handlers
+// under /debug/pprof/. Debug endpoints are deliberately outside the
+// instrument() wrapper — scraping a goroutine dump must not skew the
+// request metrics it is used to investigate.
+func (s *Server) registerDebug() {
+	s.mux.HandleFunc("/debug/traces", s.methodOnly(http.MethodGet, s.handleDebugTraces))
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// handleDebugTraces serves the most recent request traces, newest
+// first, as JSON span trees. ?limit=N caps the count. Snapshots are
+// taken at read time, so a trace whose detached computation is still
+// running renders its consistent prefix (open spans show dur_us 0).
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if s.ring == nil {
+		writeError(w, http.StatusNotFound, "trace ring disabled (server started with TraceRing < 0)")
+		return
+	}
+	limit := 0
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "invalid limit "+strconv.Quote(ls)+": want a positive integer")
+			return
+		}
+		limit = n
+	}
+	traces := s.ring.Snapshot(limit)
+	if traces == nil {
+		traces = []trace.TraceSnapshot{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Count  int                   `json:"count"`
+		Traces []trace.TraceSnapshot `json:"traces"`
+	}{Count: len(traces), Traces: traces})
+}

@@ -3,19 +3,31 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
-// endpointStats accumulates per-endpoint request counters with a
-// seconds-sum/count latency pair (enough for rate and mean-latency
-// dashboards without a histogram dependency).
+// Version is the build version string, stamped by the release build via
+//
+//	go build -ldflags "-X repro/internal/server.Version=v1.2.3"
+//
+// and surfaced by citeserved_build_info, /healthz and citeserved
+// -version. "dev" marks unstamped builds.
+var Version = "dev"
+
+// endpointStats accumulates per-endpoint request counters and a native
+// latency histogram (buckets from 100µs to 10s), so dashboards get tail
+// quantiles, not just the mean.
 type endpointStats struct {
 	requests atomic.Int64
 	errors   atomic.Int64 // responses with status >= 400
-	nanos    atomic.Int64 // total handling time
+	latency  *trace.Histogram
 }
 
 // serverMetrics is the server's counter set, exposed on GET /metrics in
@@ -26,12 +38,18 @@ type serverMetrics struct {
 	inflight  atomic.Int64              // requests currently being handled
 	rejected  atomic.Int64              // admission-control rejections (503)
 	timeouts  atomic.Int64              // per-request deadline expiries (504)
+	// stages holds per-pipeline-stage engine-time histograms, fed from
+	// finished request traces (one observation per ended span).
+	stages *trace.HistogramVec
 }
 
 func newServerMetrics(endpoints []string) *serverMetrics {
-	m := &serverMetrics{endpoints: make(map[string]*endpointStats, len(endpoints))}
+	m := &serverMetrics{
+		endpoints: make(map[string]*endpointStats, len(endpoints)),
+		stages:    trace.NewHistogramVec(nil),
+	}
 	for _, e := range endpoints {
-		m.endpoints[e] = &endpointStats{}
+		m.endpoints[e] = &endpointStats{latency: trace.NewHistogram(nil)}
 	}
 	return m
 }
@@ -47,6 +65,15 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.ResponseWriter.WriteHeader(status)
 }
 
+// Flush passes through to the underlying writer's http.Flusher, so
+// streaming endpoints behind the instrumentation wrapper can still push
+// partial responses to the client.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps an endpoint handler with request/error/latency
 // accounting under the endpoint's label.
 func (m *serverMetrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
@@ -60,13 +87,26 @@ func (m *serverMetrics) instrument(endpoint string, h http.HandlerFunc) http.Han
 		defer func() {
 			m.inflight.Add(-1)
 			stats.requests.Add(1)
-			stats.nanos.Add(int64(time.Since(start)))
+			stats.latency.Observe(time.Since(start))
 			if rec.status >= 400 {
 				stats.errors.Add(1)
 			}
 		}()
 		h(rec, r)
 	}
+}
+
+// writeHistogram renders one label's histogram as a Prometheus family
+// member: cumulative _bucket series (with the mandatory +Inf bucket),
+// then _sum and _count.
+func writeHistogram(w *strings.Builder, name, label, labelValue string, s trace.HistogramSnapshot) {
+	for i, bound := range s.Bounds {
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n",
+			name, label, labelValue, strconv.FormatFloat(bound, 'g', -1, 64), s.Cumulative[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, labelValue, s.Count)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, labelValue, s.Sum)
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, labelValue, s.Count)
 }
 
 // render writes the metrics in Prometheus text exposition format. The
@@ -78,6 +118,9 @@ func (m *serverMetrics) render(w *strings.Builder, s *Server) {
 	}
 	gauge := func(name, help string) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	histogram := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	}
 	names := make([]string, 0, len(m.endpoints))
 	for e := range m.endpoints {
@@ -93,10 +136,15 @@ func (m *serverMetrics) render(w *strings.Builder, s *Server) {
 	for _, e := range names {
 		fmt.Fprintf(w, "citeserved_request_errors_total{endpoint=%q} %d\n", e, m.endpoints[e].errors.Load())
 	}
-	counter("citeserved_request_seconds_total", "Total request handling time, by endpoint.")
+	histogram("citeserved_request_duration_seconds", "Request handling latency, by endpoint.")
 	for _, e := range names {
-		fmt.Fprintf(w, "citeserved_request_seconds_total{endpoint=%q} %g\n", e,
-			float64(m.endpoints[e].nanos.Load())/float64(time.Second))
+		writeHistogram(w, "citeserved_request_duration_seconds", "endpoint", e, m.endpoints[e].latency.Snapshot())
+	}
+	if stages := m.stages.Labels(); len(stages) > 0 {
+		histogram("citeserved_stage_duration_seconds", "Engine time per pipeline stage, from sampled request traces.")
+		for _, st := range stages {
+			writeHistogram(w, "citeserved_stage_duration_seconds", "stage", st, m.stages.Get(st).Snapshot())
+		}
 	}
 
 	cs := s.CacheStats()
@@ -140,6 +188,21 @@ func (m *serverMetrics) render(w *strings.Builder, s *Server) {
 	fmt.Fprintf(w, "citeserved_epoch %d\n", epoch)
 	gauge("citeserved_store_version", "Latest committed store version.")
 	fmt.Fprintf(w, "citeserved_store_version %d\n", storeVersion)
+
+	gauge("citeserved_build_info", "Build metadata; the value is always 1.")
+	fmt.Fprintf(w, "citeserved_build_info{version=%q,go_version=%q} 1\n", Version, runtime.Version())
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("citeserved_goroutines", "Goroutines currently live in the process.")
+	fmt.Fprintf(w, "citeserved_goroutines %d\n", runtime.NumGoroutine())
+	gauge("citeserved_heap_alloc_bytes", "Heap bytes allocated and still in use.")
+	fmt.Fprintf(w, "citeserved_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	gauge("citeserved_heap_sys_bytes", "Heap bytes obtained from the OS.")
+	fmt.Fprintf(w, "citeserved_heap_sys_bytes %d\n", ms.HeapSys)
+	counter("citeserved_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.")
+	fmt.Fprintf(w, "citeserved_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/float64(time.Second))
+	counter("citeserved_gc_cycles_total", "Completed GC cycles.")
+	fmt.Fprintf(w, "citeserved_gc_cycles_total %d\n", ms.NumGC)
 
 	if dur, ok := s.sys.Durability(); ok {
 		gauge("citeserved_wal_segments", "Commit-log segment files on disk (active included).")

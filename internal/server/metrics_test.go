@@ -1,0 +1,303 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expoSample is one parsed sample line of a Prometheus text scrape.
+type expoSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   string
+}
+
+var (
+	expoHelpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	expoTypeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	expoSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$`)
+	expoLabelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(,|$)`)
+)
+
+// labelKey serializes a sample's labels (minus the excluded names) into
+// a canonical comparison key.
+func labelKey(labels map[string]string, exclude ...string) string {
+	skip := make(map[string]bool, len(exclude))
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if !skip[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(labels[k])
+		b.WriteString(",")
+	}
+	return b.String()
+}
+
+// parseExposition validates a /metrics scrape the way a strict scraper
+// would — HELP before TYPE before samples, legal metric and label
+// syntax, parsable values, histogram sample names resolving to a
+// declared histogram family — and returns the samples plus the family
+// type map.
+func parseExposition(t *testing.T, text string) ([]expoSample, map[string]string) {
+	t.Helper()
+	types := make(map[string]string)
+	helps := make(map[string]bool)
+	var samples []expoSample
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if m := expoHelpRe.FindStringSubmatch(line); m != nil {
+			if helps[m[1]] {
+				t.Errorf("duplicate HELP for %s", m[1])
+			}
+			helps[m[1]] = true
+			continue
+		}
+		if m := expoTypeRe.FindStringSubmatch(line); m != nil {
+			if !helps[m[1]] {
+				t.Errorf("TYPE without preceding HELP: %s", line)
+			}
+			if _, dup := types[m[1]]; dup {
+				t.Errorf("duplicate TYPE for %s", m[1])
+			}
+			types[m[1]] = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("malformed comment line %q", line)
+			continue
+		}
+		m := expoSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparsable sample line %q", line)
+			continue
+		}
+		s := expoSample{name: m[1], labels: make(map[string]string), line: line}
+		if expoFamily(m[1], types) == "" {
+			t.Errorf("sample %q belongs to no declared family", line)
+		}
+		for rest := m[2]; rest != ""; {
+			lm := expoLabelRe.FindStringSubmatch(rest)
+			if lm == nil {
+				t.Errorf("bad label syntax in %q (at %q)", line, rest)
+				break
+			}
+			s.labels[lm[1]] = lm[2]
+			rest = rest[len(lm[0]):]
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil && m[3] != "+Inf" && m[3] != "NaN" {
+			t.Errorf("bad value in %q: %v", line, err)
+		}
+		s.value = v
+		samples = append(samples, s)
+	}
+	return samples, types
+}
+
+// expoFamily resolves a sample name to its declared family: the name
+// itself, or — for _bucket/_sum/_count suffixes — a declared histogram
+// base name.
+func expoFamily(name string, types map[string]string) string {
+	if types[name] != "" {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suf); base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return ""
+}
+
+// checkHistogramFamilies asserts every histogram family is internally
+// consistent: buckets cumulative in le order, the +Inf bucket equal to
+// the _count sample, and a _sum present per label set.
+func checkHistogramFamilies(t *testing.T, samples []expoSample, types map[string]string) {
+	t.Helper()
+	type series struct {
+		buckets map[string]float64 // le -> cumulative count
+		sum     *float64
+		count   *float64
+	}
+	groups := make(map[string]*series) // family + labelKey(minus le)
+	get := func(fam string, labels map[string]string) *series {
+		k := fam + "|" + labelKey(labels, "le")
+		g := groups[k]
+		if g == nil {
+			g = &series{buckets: make(map[string]float64)}
+			groups[k] = g
+		}
+		return g
+	}
+	for _, s := range samples {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket") && types[strings.TrimSuffix(s.name, "_bucket")] == "histogram":
+			fam := strings.TrimSuffix(s.name, "_bucket")
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Errorf("bucket sample without le label: %s", s.line)
+				continue
+			}
+			get(fam, s.labels).buckets[le] = s.value
+		case strings.HasSuffix(s.name, "_sum") && types[strings.TrimSuffix(s.name, "_sum")] == "histogram":
+			v := s.value
+			get(strings.TrimSuffix(s.name, "_sum"), s.labels).sum = &v
+		case strings.HasSuffix(s.name, "_count") && types[strings.TrimSuffix(s.name, "_count")] == "histogram":
+			v := s.value
+			get(strings.TrimSuffix(s.name, "_count"), s.labels).count = &v
+		}
+	}
+	if len(groups) == 0 {
+		t.Fatal("no histogram series found")
+	}
+	for key, g := range groups {
+		if g.sum == nil || g.count == nil {
+			t.Errorf("%s: histogram series missing _sum or _count", key)
+			continue
+		}
+		inf, ok := g.buckets["+Inf"]
+		if !ok {
+			t.Errorf("%s: histogram series missing +Inf bucket", key)
+			continue
+		}
+		if inf != *g.count {
+			t.Errorf("%s: +Inf bucket %g != count %g", key, inf, *g.count)
+		}
+		les := make([]float64, 0, len(g.buckets))
+		for le := range g.buckets {
+			if le == "+Inf" {
+				continue
+			}
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Errorf("%s: unparsable le %q", key, le)
+				continue
+			}
+			les = append(les, f)
+		}
+		sort.Float64s(les)
+		prev := 0.0
+		for _, le := range les {
+			v := g.buckets[strconv.FormatFloat(le, 'g', -1, 64)]
+			if v < prev {
+				t.Errorf("%s: bucket le=%g count %g below previous %g (not cumulative)", key, le, v, prev)
+			}
+			prev = v
+		}
+		if inf < prev {
+			t.Errorf("%s: +Inf bucket %g below largest finite bucket %g", key, inf, prev)
+		}
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := paperServer(t, Options{})
+	client := ts.Client()
+	// Traffic: a cache miss, a hit, and a parse failure, so counters,
+	// error counters, latency histograms and stage histograms all have
+	// observations.
+	postJSON(t, client, ts.URL+"/cite", citeRequest{Query: paperQuery})
+	postJSON(t, client, ts.URL+"/cite", citeRequest{Query: paperQuery})
+	postJSON(t, client, ts.URL+"/cite", citeRequest{Query: "not a query ("})
+
+	scrape1 := getText(t, client, ts.URL+"/metrics")
+	samples1, types1 := parseExposition(t, scrape1)
+	checkHistogramFamilies(t, samples1, types1)
+
+	if types1["citeserved_request_duration_seconds"] != "histogram" {
+		t.Fatalf("citeserved_request_duration_seconds must be a histogram, got %q", types1["citeserved_request_duration_seconds"])
+	}
+	find := func(samples []expoSample, name string, want map[string]string) *expoSample {
+		for i, s := range samples {
+			if s.name != name {
+				continue
+			}
+			ok := true
+			for k, v := range want {
+				if s.labels[k] != v {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return &samples[i]
+			}
+		}
+		return nil
+	}
+	if s := find(samples1, "citeserved_request_duration_seconds_count", map[string]string{"endpoint": "cite"}); s == nil || s.value < 3 {
+		t.Errorf("cite duration histogram must count the 3 requests: %+v", s)
+	}
+	if s := find(samples1, "citeserved_build_info", nil); s == nil {
+		t.Error("missing citeserved_build_info")
+	} else {
+		if s.labels["version"] != Version || s.labels["go_version"] != runtime.Version() || s.value != 1 {
+			t.Errorf("bad build info: %s", s.line)
+		}
+	}
+	for _, stage := range []string{"parse", "rewrite", "eval", "fixity", "cache", "encode"} {
+		if s := find(samples1, "citeserved_stage_duration_seconds_count", map[string]string{"stage": stage}); s == nil || s.value < 1 {
+			t.Errorf("stage %q has no duration observations", stage)
+		}
+	}
+	for _, name := range []string{"citeserved_goroutines", "citeserved_heap_alloc_bytes", "citeserved_gc_cycles_total"} {
+		if find(samples1, name, nil) == nil {
+			t.Errorf("missing runtime metric %s", name)
+		}
+	}
+	if s := find(samples1, "citeserved_request_errors_total", map[string]string{"endpoint": "cite"}); s == nil || s.value < 1 {
+		t.Errorf("the parse failure must count as an error: %+v", s)
+	}
+
+	// Counters must be monotonic across scrapes (histogram buckets,
+	// sums and counts included — they are cumulative too).
+	postJSON(t, client, ts.URL+"/cite", citeRequest{Query: paperQuery})
+	scrape2 := getText(t, client, ts.URL+"/metrics")
+	samples2, types2 := parseExposition(t, scrape2)
+	checkHistogramFamilies(t, samples2, types2)
+	for _, s1 := range samples1 {
+		fam := expoFamily(s1.name, types1)
+		if types1[fam] != "counter" && types1[fam] != "histogram" {
+			continue
+		}
+		s2 := find(samples2, s1.name, s1.labels)
+		if s2 == nil {
+			t.Errorf("counter series vanished between scrapes: %s", s1.line)
+			continue
+		}
+		if s2.value < s1.value {
+			t.Errorf("counter went backwards: %q %g -> %g", s1.line, s1.value, s2.value)
+		}
+	}
+}
+
+func TestStatusRecorderFlush(t *testing.T) {
+	rr := httptest.NewRecorder()
+	rec := &statusRecorder{ResponseWriter: rr, status: http.StatusOK}
+	// The wrapper must satisfy http.Flusher and forward to the wrapped
+	// writer, or streaming handlers behind instrument() silently buffer.
+	var f http.Flusher = rec
+	f.Flush()
+	if !rr.Flushed {
+		t.Fatal("statusRecorder.Flush must pass through to the underlying writer")
+	}
+}

@@ -39,8 +39,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand/v2"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -55,6 +58,7 @@ import (
 	"repro/internal/format"
 	"repro/internal/schema"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/value"
 )
 
@@ -63,6 +67,7 @@ const (
 	defaultCacheSize      = 1024
 	defaultRequestTimeout = 30 * time.Second
 	defaultBodyLimit      = 1 << 20 // 1 MiB request bodies
+	defaultTraceRing      = 64
 )
 
 // Options configures a Server. The zero value serves with sensible
@@ -87,6 +92,26 @@ type Options struct {
 	// cooperatively through the engine instead of burning a worker
 	// forever. 0 means 4×RequestTimeout; negative disables the bound.
 	ComputeTimeout time.Duration
+	// TraceSample is the fraction of /cite requests that carry a full
+	// span trace (the endpoint latency histograms are always on). 0
+	// means 1.0 — trace everything; negative disables span tracing. An
+	// un-sampled request pays one nil context lookup per pipeline stage.
+	TraceSample float64
+	// TraceEcho enables the ?trace=1 query parameter on /cite: a traced
+	// request echoes its span tree inside the response envelope. Opt-in
+	// because it exposes engine internals (view names, cache decisions)
+	// to any client that asks.
+	TraceEcho bool
+	// TraceRing bounds the in-memory ring of recent traces served on
+	// GET /debug/traces. 0 means 64 entries; negative disables retention
+	// (the endpoint then answers 404).
+	TraceRing int
+	// SlowQuery is the latency threshold at or above which a completed
+	// traced /cite request is written to the slow-query log as one JSON
+	// line carrying its full span tree. 0 disables slow-query logging.
+	SlowQuery time.Duration
+	// SlowQueryLog receives the slow-query lines. nil means os.Stderr.
+	SlowQueryLog io.Writer
 }
 
 // Server serves a core.System over HTTP. Create with New, mount via
@@ -99,7 +124,9 @@ type Server struct {
 	metrics *serverMetrics
 	mux     *http.ServeMux
 	httpSrv *http.Server
-	sem     chan struct{} // admission control; nil = unlimited
+	sem     chan struct{}     // admission control; nil = unlimited
+	ring    *trace.Ring       // recent traces for /debug/traces; nil = disabled
+	slowLog *trace.SlowLogger // nil = slow-query logging disabled
 
 	// citer computes a batch of citations with per-query errors, against
 	// the head when version is 0 or the committed snapshot otherwise. It
@@ -128,12 +155,28 @@ func New(sys *core.System, opts Options) *Server {
 	if opts.ComputeTimeout == 0 && opts.RequestTimeout > 0 {
 		opts.ComputeTimeout = 4 * opts.RequestTimeout
 	}
+	if opts.TraceSample == 0 {
+		opts.TraceSample = 1.0
+	}
+	if opts.TraceRing == 0 {
+		opts.TraceRing = defaultTraceRing
+	}
 	s := &Server{
 		sys:     sys,
 		opts:    opts,
 		cache:   newResultCache(opts.CacheSize),
 		metrics: newServerMetrics([]string{"cite", "ingest", "commit", "versions", "relations", "views", "healthz", "metrics"}),
 		mux:     http.NewServeMux(),
+	}
+	if opts.TraceRing > 0 {
+		s.ring = trace.NewRing(opts.TraceRing)
+	}
+	if opts.SlowQuery > 0 {
+		w := opts.SlowQueryLog
+		if w == nil {
+			w = os.Stderr
+		}
+		s.slowLog = trace.NewSlowLogger(w)
 	}
 	s.citer = func(ctx context.Context, queries []string, version fixity.Version) ([]*core.Citation, []error) {
 		if version > 0 {
@@ -152,6 +195,7 @@ func New(sys *core.System, opts Options) *Server {
 	s.mux.HandleFunc("/views", s.metrics.instrument("views", s.methodOnly(http.MethodGet, s.handleViews)))
 	s.mux.HandleFunc("/healthz", s.metrics.instrument("healthz", s.methodOnly(http.MethodGet, s.handleHealthz)))
 	s.mux.HandleFunc("/metrics", s.metrics.instrument("metrics", s.methodOnly(http.MethodGet, s.handleMetrics)))
+	s.registerDebug()
 	s.httpSrv = &http.Server{Handler: s.mux}
 	return s
 }
@@ -293,6 +337,11 @@ type citeResponse struct {
 	Version int          `json:"version"`
 	Result  *CiteResult  `json:"result,omitempty"`
 	Results []CiteResult `json:"results,omitempty"`
+	// Trace is the request's span tree, echoed when the server has
+	// TraceEcho enabled and the request asked with ?trace=1. The
+	// snapshot is taken before the response is encoded, so the "encode"
+	// span appears in /debug/traces and the slow-query log but not here.
+	Trace *trace.TraceSnapshot `json:"trace,omitempty"`
 }
 
 // errEngineFault marks failures that are the server's own (an engine
@@ -315,6 +364,48 @@ func statusForError(err error) int {
 		return http.StatusInternalServerError
 	default:
 		return http.StatusUnprocessableEntity
+	}
+}
+
+// sampleTrace decides whether this request gets a span trace.
+func (s *Server) sampleTrace() bool {
+	sr := s.opts.TraceSample
+	if sr >= 1 {
+		return true
+	}
+	if sr <= 0 {
+		return false
+	}
+	return rand.Float64() < sr
+}
+
+// observeTrace publishes one finished request trace to its three sinks:
+// every ended span feeds the per-stage histograms, the trace enters the
+// /debug/traces ring, and a request at or over the slow-query threshold
+// emits one slow-query log line with the full span tree.
+func (s *Server) observeTrace(endpoint string, tr *trace.Trace, queries []string) {
+	if tr == nil {
+		return
+	}
+	for _, st := range tr.Stages() {
+		if st.Name == endpoint {
+			// The root span is the whole request, already covered by the
+			// endpoint latency histogram.
+			continue
+		}
+		s.metrics.stages.Observe(st.Name, st.Dur)
+	}
+	s.ring.Add(tr)
+	if s.slowLog != nil && tr.Duration() >= s.opts.SlowQuery {
+		s.slowLog.Log(trace.SlowEntry{
+			Time:        time.Now().UTC(),
+			TraceID:     tr.ID,
+			Endpoint:    endpoint,
+			DurUS:       tr.Duration().Microseconds(),
+			ThresholdUS: s.opts.SlowQuery.Microseconds(),
+			Queries:     queries,
+			Spans:       tr.Root().Snapshot(),
+		})
 	}
 }
 
@@ -360,13 +451,29 @@ func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, `body must set "query" or a non-empty "queries"`)
 		return
 	}
+	// The trace starts after validation so every trace created is also
+	// finished and observed (ring, stage histograms, slow-query log) on
+	// every remaining return path.
+	var tr *trace.Trace
+	if s.sampleTrace() {
+		tr = trace.New("cite")
+		ctx = trace.NewContext(ctx, tr)
+		defer func() {
+			tr.Finish()
+			s.observeTrace("cite", tr, queries)
+		}()
+	}
 	var slot *slotRef
 	if s.sem != nil {
+		_, admSpan := trace.StartSpan(ctx, "admission")
 		select {
 		case s.sem <- struct{}{}:
+			admSpan.End()
 			slot = newSlotRef(func() { <-s.sem })
 			defer slot.done()
 		case <-ctx.Done():
+			admSpan.Set("rejected", true)
+			admSpan.End()
 			s.metrics.rejected.Add(1)
 			writeError(w, http.StatusServiceUnavailable, "admission queue full: "+ctx.Err().Error())
 			return
@@ -396,7 +503,13 @@ func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
 		// neighbors' citations.
 		resp.Results = results
 	}
+	if tr != nil && s.opts.TraceEcho && r.URL.Query().Get("trace") == "1" {
+		snap := tr.Snapshot()
+		resp.Trace = &snap
+	}
+	_, encSpan := trace.StartSpan(ctx, "encode")
 	writeJSON(w, http.StatusOK, resp)
+	encSpan.End()
 }
 
 // slotRef shares one admission slot between a request handler and the
@@ -461,20 +574,28 @@ func (s *Server) citeBatch(ctx context.Context, queries []string, version fixity
 	errs = make([]error, len(queries))
 	var pending []pendingResult
 	var owned []pendingResult
+	// The cache span covers the lookup decisions only; waiting for (or
+	// running) a computation is timed by the engine's own stage spans.
+	_, cacheSpan := trace.StartSpan(ctx, "cache")
 	for i, q := range queries {
 		k := cacheKey{epoch: config, version: version, query: q}
 		val, cached, cl, owner := s.cache.acquire(k, epoch, fresh)
 		if cached {
 			results[i] = val
 			results[i].Cache = "hit"
+			cacheSpan.Add("hits", 1)
 			continue
 		}
 		p := pendingResult{idx: i, key: k, call: cl, owner: owner}
 		pending = append(pending, p)
 		if owner {
 			owned = append(owned, p)
+			cacheSpan.Add("misses", 1)
+		} else {
+			cacheSpan.Add("coalesced", 1)
 		}
 	}
+	cacheSpan.End()
 	if len(owned) > 0 {
 		batch := make([]string, len(owned))
 		for j, p := range owned {
@@ -488,8 +609,11 @@ func (s *Server) citeBatch(ctx context.Context, queries []string, version fixity
 			// The computation is shared by every coalesced waiter, so it
 			// must not die with the requesting client's connection; it
 			// gets its own (longer) deadline instead, which cancels the
-			// engine cooperatively.
-			compCtx := context.Background()
+			// engine cooperatively. It does keep the requester's trace:
+			// the engine's stage spans land in the tree of the request
+			// that owned the miss (coalesced requests legitimately show
+			// only the cache span).
+			compCtx := trace.ContextWithSpan(context.Background(), trace.SpanFromContext(ctx))
 			if s.opts.ComputeTimeout > 0 {
 				var cancel context.CancelFunc
 				compCtx, cancel = context.WithTimeout(compCtx, s.opts.ComputeTimeout)
@@ -932,7 +1056,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	epoch, latest := s.sys.Versions()
 	dur, _ := s.sys.Durability()
 	writeJSON(w, http.StatusOK, struct {
-		Status  string `json:"status"`
+		Status string `json:"status"`
+		// Build is the ldflags-stamped build version, the same string
+		// citeserved_build_info and citeserved -version report.
+		Build   string `json:"build"`
 		Epoch   int64  `json:"epoch"`
 		Version int    `json:"version"`
 		Views   int    `json:"views"`
@@ -942,6 +1069,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		RecoveredVersion int `json:"recovered_version"`
 	}{
 		Status:           "ok",
+		Build:            Version,
 		Epoch:            epoch,
 		Version:          int(latest),
 		Views:            s.sys.Registry().Len(),

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency buckets (seconds), spanning 100µs
+// to 10s — a cached citation is ~100µs over loopback, a cold
+// enumeration over a large instance can take seconds. The layout is the
+// conventional 1-2.5-5 ladder Prometheus tooling expects.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram recorded with atomics:
+// Observe is lock-free and wait-free (one bucket increment, one sum
+// add, one count add), so instrumenting the request path costs a few
+// atomic adds regardless of scrape traffic. Buckets are stored
+// non-cumulative and accumulated at snapshot time, the cheap side of
+// the trade — scrapes are rare, requests are not.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf implied after the last
+	buckets []atomic.Int64
+	sumNS   atomic.Int64
+	count   atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given upper bounds (seconds,
+// ascending). nil means DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1), // last = +Inf
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	// Linear scan: ~16 float compares beats binary search at this size
+	// and branch-predicts perfectly for the common (fast) case.
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time view with *cumulative* bucket
+// counts, ready for Prometheus text exposition: Cumulative[i] counts
+// observations <= Bounds[i], and Cumulative[len(Bounds)] is the +Inf
+// bucket, equal to Count.
+type HistogramSnapshot struct {
+	Bounds     []float64
+	Cumulative []int64
+	Count      int64
+	Sum        float64 // seconds
+}
+
+// Snapshot accumulates the buckets. Concurrent Observes may land
+// between the bucket reads; the +Inf bucket is forced to the sum of
+// all buckets so the exposition is always internally consistent
+// (cumulative counts monotone, +Inf == count).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]int64, len(h.buckets)),
+	}
+	var running int64
+	for i := range h.buckets {
+		running += h.buckets[i].Load()
+		out.Cumulative[i] = running
+	}
+	out.Count = running
+	out.Sum = float64(h.sumNS.Load()) / float64(time.Second)
+	if math.IsNaN(out.Sum) {
+		out.Sum = 0
+	}
+	return out
+}
+
+// HistogramVec is a set of histograms sharing one bucket layout, keyed
+// by a single label value (endpoint, stage). The label map is
+// copy-on-write behind an atomic pointer: observing a known label is
+// lock-free (one atomic load + map read), so concurrent request
+// handlers never contend on a shared lock — the label set stops
+// changing within the first few requests, but every request observes.
+type HistogramVec struct {
+	bounds []float64
+	mu     sync.Mutex // serializes copy-on-write inserts only
+	m      atomic.Pointer[map[string]*Histogram]
+}
+
+// NewHistogramVec builds an empty vector (nil bounds = DefBuckets).
+func NewHistogramVec(bounds []float64) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	v := &HistogramVec{bounds: bounds}
+	m := make(map[string]*Histogram)
+	v.m.Store(&m)
+	return v
+}
+
+// Observe records one duration under the label.
+func (v *HistogramVec) Observe(label string, d time.Duration) {
+	if h := (*v.m.Load())[label]; h != nil {
+		h.Observe(d)
+		return
+	}
+	v.mu.Lock()
+	old := *v.m.Load()
+	h := old[label]
+	if h == nil {
+		h = NewHistogram(v.bounds)
+		next := make(map[string]*Histogram, len(old)+1)
+		for k, hh := range old {
+			next[k] = hh
+		}
+		next[label] = h
+		v.m.Store(&next)
+	}
+	v.mu.Unlock()
+	h.Observe(d)
+}
+
+// Labels returns the sorted label values that have been observed.
+func (v *HistogramVec) Labels() []string {
+	m := *v.m.Load()
+	out := make([]string, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the histogram for one label, or nil.
+func (v *HistogramVec) Get(label string) *Histogram {
+	return (*v.m.Load())[label]
+}

@@ -1,0 +1,77 @@
+package trace
+
+import "sync/atomic"
+
+// Ring is a fixed-capacity ring buffer of recent traces, the backing
+// store of GET /debug/traces. It retains live *Trace pointers rather
+// than snapshots: a detached cache-fill computation may still be
+// appending spans when its trace is added, and snapshotting at *read*
+// time (span mutexes make that safe) shows the finished tree instead
+// of the partial one.
+//
+// Add is lock-free — one atomic counter increment plus one atomic
+// pointer store — because it runs once per sampled request under full
+// request concurrency. The price is that Snapshot's "most recent
+// first" order is approximate while adds are racing (a writer that
+// claimed a slot may not have stored into it yet; such slots read as
+// their previous occupant), which a debug endpoint can tolerate.
+type Ring struct {
+	buf  []atomic.Pointer[Trace]
+	next atomic.Int64 // total adds; next slot is next % len(buf)
+}
+
+// NewRing builds a ring retaining the last capacity traces (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]atomic.Pointer[Trace], capacity)}
+}
+
+// Add records a trace, evicting the oldest past capacity. Nil-safe on
+// both sides (nil ring = tracing disabled, nil trace = unsampled).
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	i := r.next.Add(1) - 1
+	r.buf[int(i%int64(len(r.buf)))].Store(t)
+}
+
+// Len returns the number of retained traces.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.next.Load()
+	if n > int64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(n)
+}
+
+// Snapshot renders up to max retained traces, most recent first
+// (max <= 0 means all).
+func (r *Ring) Snapshot(max int) []TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	n := r.next.Load()
+	count := int(n)
+	if count > len(r.buf) {
+		count = len(r.buf)
+	}
+	if max > 0 && count > max {
+		count = max
+	}
+	out := make([]TraceSnapshot, 0, count)
+	for i := 0; i < count; i++ {
+		// Walk backwards from the most recently claimed slot, skipping
+		// slots whose writer has not stored yet.
+		idx := int((n - 1 - int64(i)) % int64(len(r.buf)))
+		if t := r.buf[idx].Load(); t != nil {
+			out = append(out, t.Snapshot())
+		}
+	}
+	return out
+}

@@ -134,6 +134,140 @@ func benchServerCite(b *testing.B, path string) {
 	}
 }
 
+// BenchmarkServerCiteTraceOverhead pits span tracing disabled
+// (TraceSample -1) against the fully instrumented default (every
+// request traced, ring + stage histograms fed) on the warm 16-client
+// ServerCite configuration — the hot path where instrumentation
+// overhead is proportionally largest, since a cache hit does no engine
+// work to hide behind.
+//
+// The comparison is paired: both servers exist at once and the
+// benchmark alternates slices of requests between them, accumulating
+// wall time per mode. Back-to-back "off" and "on" runs of a whole
+// benchmark differ by 10%+ on shared hardware from load drift alone;
+// interleaving at ~slice granularity makes that drift hit both modes
+// equally, so the reported on-off-ratio metric isolates the
+// instrumentation cost. CI asserts on-off-ratio < 1.05 from
+// BENCH_eval.json.
+func BenchmarkServerCiteTraceOverhead(b *testing.B) {
+	type mode struct {
+		srv *server.Server
+		ts  *httptest.Server
+	}
+	modes := make([]mode, 2) // [0] = off, [1] = on
+	for i, sample := range []float64{-1, 1} {
+		sys, err := experiments.GtoPdbSystem(300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Commit("bench base")
+		srv := server.New(sys, server.Options{CacheSize: 4096, TraceSample: sample})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		modes[i] = mode{srv: srv, ts: ts}
+	}
+
+	queries := experiments.E10Workload()
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		body, err := json.Marshal(map[string]string{"query": q})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+	post := func(client *http.Client, url string, i int) error {
+		resp, err := client.Post(url+"/cite", "application/json",
+			bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	for _, m := range modes {
+		for i := range queries {
+			if err := post(m.ts.Client(), m.ts.URL, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	// runSlice pushes n warm requests through a 16-client pool and
+	// returns the wall time for the batch.
+	const clients = 16
+	runSlice := func(m mode, n int) (time.Duration, error) {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		errs := make(chan error, clients)
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client := m.ts.Client()
+				failed := false
+				for i := range next {
+					if failed {
+						continue
+					}
+					if err := post(client, m.ts.URL, i); err != nil {
+						failed = true
+						select {
+						case errs <- err:
+						default:
+						}
+					}
+				}
+			}()
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		el := time.Since(start)
+		select {
+		case err := <-errs:
+			return el, err
+		default:
+			return el, nil
+		}
+	}
+
+	// Alternate off/on slices — and flip which mode goes first on every
+	// pair, so a "second slice runs on a warmer scheduler" effect cannot
+	// systematically favor one mode. Each mode serves b.N requests
+	// total, so ns/op reports the cost of one off+on request pair.
+	const slice = 128
+	var wall [2]time.Duration
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := slice
+		if rest := b.N - done; rest < n {
+			n = rest
+		}
+		first := (done / slice) % 2
+		for k := 0; k < 2; k++ {
+			mi := (first + k) % 2
+			el, err := runSlice(modes[mi], n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wall[mi] += el
+		}
+		done += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(wall[0].Nanoseconds())/float64(b.N), "off-ns/op")
+	b.ReportMetric(float64(wall[1].Nanoseconds())/float64(b.N), "on-ns/op")
+	b.ReportMetric(float64(wall[1])/float64(wall[0]), "on-off-ratio")
+}
+
 // BenchmarkMixedReadWrite measures what delta-aware invalidation buys
 // under a read/write mix: N client goroutines drain the E10 query mix
 // while a writer ingests single-relation Family deltas and commits at a

@@ -54,7 +54,6 @@ func main() {
 	ins("Committee", datacitation.Int(11), datacitation.String("Alice Smith"))
 	ins("Committee", datacitation.Int(11), datacitation.String("Bob Jones"))
 	ins("Committee", datacitation.Int(12), datacitation.String("Carol Chen"))
-	db.BuildIndexes()
 
 	// 3. Citation views, exactly as in the paper.
 	must := func(err error) {

@@ -56,7 +56,6 @@ func main() {
 	ins("ReleaseCurator", datacitation.Time(r1), datacitation.String("Alice (2025 board)"))
 	ins("ReleaseCurator", datacitation.Time(r2), datacitation.String("Bob (2026 board)"))
 	ins("ReleaseCurator", datacitation.Time(r2), datacitation.String("Carol (2026 board)"))
-	db.BuildIndexes()
 
 	// The view's λ-parameter IS the timestamp attribute: the citation of
 	// any entry names the curators of the release it came from.

@@ -195,3 +195,57 @@ func TestInvalidateTouchedSelectivity(t *testing.T) {
 		t.Errorf("cold recomputation diverged from original:\n got %s\nwant %s", got, paperBefore)
 	}
 }
+
+// TestBranchCacheInvalidation pins the branch cache's lifecycle: repeat
+// cites reuse the cached annotated evaluation, a delta to a relation the
+// rewriting's body does not read keeps the branch warm, and a body delta
+// evicts it so the recomputed citation reflects the new data — byte
+// identical to a cold generator over the same database.
+func TestBranchCacheInvalidation(t *testing.T) {
+	g := paperGenerator(t)
+	before := citeText(t, g, paperQueryText)
+	if got := citeText(t, g, paperQueryText); got != before {
+		t.Fatalf("warm repeat diverged:\n got %s\nwant %s", got, before)
+	}
+
+	// Committee feeds only V1's citation query — the branch's body reads
+	// (Family, FamilyIntro) are untouched, so every branch survives.
+	base := g.Counters()
+	g.InvalidateTouched([]string{"Committee"})
+	c := g.Counters()
+	if c.BranchesEvicted != base.BranchesEvicted {
+		t.Errorf("Committee delta evicted %d branches, want 0", c.BranchesEvicted-base.BranchesEvicted)
+	}
+	if c.BranchesKept == base.BranchesKept {
+		t.Error("surviving branches not counted kept")
+	}
+	if got := citeText(t, g, paperQueryText); got != before {
+		t.Errorf("branch-cache-served citation diverged:\n got %s\nwant %s", got, before)
+	}
+
+	// A body delta evicts the branch, and the recomputation sees the new
+	// family — identical to a generator with no cache history.
+	db := g.Database()
+	db.Relation("Family").MustInsert(value.Int(13), value.String("Galanin"), value.String("C3"))
+	db.Relation("FamilyIntro").MustInsert(value.Int(13), value.String("3rd"))
+	base = g.Counters()
+	g.InvalidateTouched([]string{"Family", "FamilyIntro"})
+	c = g.Counters()
+	if c.BranchesEvicted == base.BranchesEvicted {
+		t.Error("body delta evicted no branches")
+	}
+	after := citeText(t, g, paperQueryText)
+	if after == before {
+		t.Error("citation unchanged after body delta")
+	}
+	cold := NewGenerator(paperRegistry(t, db.Schema()), db)
+	if got := citeText(t, cold, paperQueryText); got != after {
+		t.Errorf("recomputed citation diverged from cold generator:\n got %s\nwant %s", after, got)
+	}
+
+	// Full flush drops branches too.
+	g.InvalidateCache()
+	if got := citeText(t, g, paperQueryText); got != after {
+		t.Errorf("post-flush citation diverged:\n got %s\nwant %s", got, after)
+	}
+}

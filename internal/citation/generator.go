@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -88,13 +89,27 @@ type Generator struct {
 	planMu    sync.Mutex
 	planCache map[genKey]*planEntry
 
+	// branchCache memoizes the annotated evaluation of one rewriting —
+	// the branch struct CiteContext unions and aggregates — under the
+	// (ver, rewriting signature) key. It sits above the view and plan
+	// caches: a warm cite of a repeated query skips the enumeration
+	// entirely and pays only union, policy aggregation and formatting.
+	// Entries are immutable after construction (expr() only reads), so
+	// one entry serves concurrent cites; singleflight like the atom
+	// cache, with failed evaluations evicted for retry. Invalidation
+	// follows the same delta rule as the other caches: a head entry's
+	// deps are the rewriting's transitive base-relation read set.
+	branchMu    sync.Mutex
+	branchCache map[genKey]*branchEntry
+
 	// Cache-survival counters: per InvalidateTouched/InvalidateCache call,
 	// every head-generation entry is accounted exactly once as kept or
 	// evicted. Exposed on the server's /metrics so delta invalidation's
 	// win is observable in production.
-	plansKept, plansEvicted atomic.Int64
-	viewsKept, viewsEvicted atomic.Int64
-	atomsKept, atomsEvicted atomic.Int64
+	plansKept, plansEvicted       atomic.Int64
+	viewsKept, viewsEvicted       atomic.Int64
+	atomsKept, atomsEvicted       atomic.Int64
+	branchesKept, branchesEvicted atomic.Int64
 
 	// verMu guards verUse, the recency order (least-recently-used first)
 	// of the versioned cache namespaces currently retained. Entries never
@@ -180,16 +195,28 @@ type planEntry struct {
 	deps []string
 }
 
+// branchEntry is one cached annotated evaluation. ready closes when the
+// evaluating goroutine has filled b/err (singleflight); deps is the
+// rewriting's transitive base-relation read set, the delta-invalidation
+// key.
+type branchEntry struct {
+	ready chan struct{}
+	b     *branch
+	err   error
+	deps  []string
+}
+
 // NewGenerator builds a Generator with the paper's default policy.
 func NewGenerator(reg *Registry, db *storage.Database) *Generator {
 	return &Generator{
 		reg:       reg,
 		db:        db,
 		pol:       policy.Default(),
-		viewCache: make(map[genKey]*viewEntry),
-		atomCache: make(map[genKey]*atomEntry),
-		planCache: make(map[genKey]*planEntry),
-		paramPos:  make(map[string][]int),
+		viewCache:   make(map[genKey]*viewEntry),
+		atomCache:   make(map[genKey]*atomEntry),
+		planCache:   make(map[genKey]*planEntry),
+		branchCache: make(map[genKey]*branchEntry),
+		paramPos:    make(map[string][]int),
 	}
 }
 
@@ -317,6 +344,20 @@ func (g *Generator) invalidate(touched map[string]bool) {
 		}
 	}
 	g.planMu.Unlock()
+
+	g.branchMu.Lock()
+	for k, e := range g.branchCache {
+		if k.ver != 0 {
+			continue
+		}
+		if hit(e.deps) {
+			delete(g.branchCache, k)
+			g.branchesEvicted.Add(1)
+		} else {
+			g.branchesKept.Add(1)
+		}
+	}
+	g.branchMu.Unlock()
 }
 
 // countAllKept accounts a no-op invalidation (empty touched set): every
@@ -343,6 +384,13 @@ func (g *Generator) countAllKept() {
 		}
 	}
 	g.planMu.Unlock()
+	g.branchMu.Lock()
+	for k := range g.branchCache {
+		if k.ver == 0 {
+			g.branchesKept.Add(1)
+		}
+	}
+	g.branchMu.Unlock()
 }
 
 // CacheCounters is the point-in-time snapshot of the generator's
@@ -350,9 +398,10 @@ func (g *Generator) countAllKept() {
 // is accounted exactly once as kept (survived the delta) or evicted (a
 // touched relation was among its dependencies).
 type CacheCounters struct {
-	PlansKept, PlansEvicted int64
-	ViewsKept, ViewsEvicted int64
-	AtomsKept, AtomsEvicted int64
+	PlansKept, PlansEvicted       int64
+	ViewsKept, ViewsEvicted       int64
+	AtomsKept, AtomsEvicted       int64
+	BranchesKept, BranchesEvicted int64
 }
 
 // Counters snapshots the cache-survival counters.
@@ -362,8 +411,10 @@ func (g *Generator) Counters() CacheCounters {
 		PlansEvicted: g.plansEvicted.Load(),
 		ViewsKept:    g.viewsKept.Load(),
 		ViewsEvicted: g.viewsEvicted.Load(),
-		AtomsKept:    g.atomsKept.Load(),
-		AtomsEvicted: g.atomsEvicted.Load(),
+		AtomsKept:       g.atomsKept.Load(),
+		AtomsEvicted:    g.atomsEvicted.Load(),
+		BranchesKept:    g.branchesKept.Load(),
+		BranchesEvicted: g.branchesEvicted.Load(),
 	}
 }
 
@@ -412,6 +463,28 @@ type Result struct {
 type branch struct {
 	annotated []eval.Annotated[citeexpr.Expr]
 	ix        eval.TupleIndex
+
+	// atomOnce/atomCount memoize the number of distinct citation atoms
+	// across the branch's annotations — the +R size measure. Branches are
+	// shared through the branch cache, so the VisitAtoms walk runs once
+	// per cached evaluation, not once per cite.
+	atomOnce  sync.Once
+	atomCount int
+}
+
+// distinctAtoms returns the number of distinct citation atoms the branch
+// contributes across the whole answer, computed on first use.
+func (b *branch) distinctAtoms() int {
+	b.atomOnce.Do(func() {
+		atoms := make(map[string]bool)
+		for _, a := range b.annotated {
+			citeexpr.VisitAtoms(a.Annotation, func(at citeexpr.Atom) {
+				atoms[at.Key()] = true
+			})
+		}
+		b.atomCount = len(atoms)
+	})
+	return b.atomCount
 }
 
 // expr returns the branch's citation expression for the tuple, if the
@@ -547,7 +620,7 @@ func (g *Generator) CiteContext(ctx context.Context, q *cq.Query, req Request) (
 		}
 	}
 	tuples := append([]storage.Tuple(nil), union.Tuples()...)
-	sort.Slice(tuples, func(i, j int) bool { return tuples[i].Compare(tuples[j]) < 0 })
+	slices.SortFunc(tuples, storage.Tuple.Compare)
 
 	// Choose the +R branch globally, the way the paper's closing example
 	// does: the size of a rewriting's citation is the number of distinct
@@ -560,13 +633,7 @@ func (g *Generator) CiteContext(ctx context.Context, q *cq.Query, req Request) (
 	if pol.AltR != policy.AllBranches && len(branches) > 1 {
 		sizes := make([]int, len(branches))
 		for i := range branches {
-			atoms := make(map[string]bool)
-			for _, a := range branches[i].annotated {
-				citeexpr.VisitAtoms(a.Annotation, func(at citeexpr.Atom) {
-					atoms[at.Key()] = true
-				})
-			}
-			sizes[i] = len(atoms)
+			sizes[i] = branches[i].distinctAtoms()
 		}
 		chosen = 0
 		for i := 1; i < len(sizes); i++ {
@@ -679,42 +746,47 @@ func (g *Generator) readSet(rewritings []*rewrite.Rewriting) []string {
 // evaluation each. Results are indexed by rewriting, so the outcome is
 // deterministic regardless of scheduling; canceling ctx aborts every
 // branch with ctx.Err().
-func (g *Generator) evalBranches(ctx context.Context, evalSet []*rewrite.Rewriting, db *storage.Database, ver, workers int) ([]branch, error) {
+func (g *Generator) evalBranches(ctx context.Context, evalSet []*rewrite.Rewriting, db *storage.Database, ver, workers int) ([]*branch, error) {
 	annot := g.annotator()
-	evalOne := func(idx int, rw *rewrite.Rewriting, innerWorkers int) (branch, error) {
-		// One span per alternative rewriting: view materializations,
-		// plan compilation and the enumeration itself nest under it, so
-		// a trace shows which alternative cost what. Branches may run
-		// concurrently — sibling spans are mutex-appended to "eval".
-		bctx, bsp := trace.StartSpan(ctx, "branch")
-		defer bsp.End()
-		bsp.Set("alt", idx)
-		bsp.Set("views", len(rw.ViewAtoms))
-		bsp.Set("base_atoms", len(rw.BaseAtoms))
-		inst, err := g.instanceFor(bctx, rw, db, ver)
-		if err != nil {
-			bsp.Set("outcome", "materialize-error")
-			return branch{}, err
+	evalOne := func(idx int, rw *rewrite.Rewriting, innerWorkers int) (*branch, error) {
+		// Branch cache: a repeated rewriting at an unchanged version (or
+		// an untouched head generation) reuses the whole annotated
+		// evaluation. The entry is filled exactly once under concurrent
+		// demand; failures are evicted so the next cite retries.
+		q := rw.AsQuery("rw")
+		key := genKey{ver, q.Signature()}
+		g.branchMu.Lock()
+		if e, ok := g.branchCache[key]; ok {
+			g.branchMu.Unlock()
+			<-e.ready
+			if e.err == nil {
+				_, bsp := trace.StartSpan(ctx, "branch")
+				bsp.Set("alt", idx)
+				bsp.Set("cache", "hit")
+				bsp.End()
+				return e.b, nil
+			}
+			return nil, e.err
 		}
-		plan, err := g.planFor(bctx, ver, inst, rw.AsQuery("rw"))
-		if err != nil {
-			bsp.Set("outcome", "compile-error")
-			return branch{}, err
+		// Deps are the rewriting's body reads (like the plan cache):
+		// the branch holds answers and parameter-built annotations, both
+		// functions of the body relations alone — citation-query deltas
+		// are the atom cache's concern.
+		e := &branchEntry{ready: make(chan struct{}), deps: g.reg.BodyDeps(q)}
+		g.branchCache[key] = e
+		g.branchMu.Unlock()
+		defer close(e.ready)
+		e.b, e.err = g.evalBranch(ctx, idx, q, rw, db, ver, innerWorkers, annot)
+		if e.err != nil {
+			g.branchMu.Lock()
+			if g.branchCache[key] == e {
+				delete(g.branchCache, key)
+			}
+			g.branchMu.Unlock()
 		}
-		annotated, err := eval.RunAnnotatedParallelCtx[citeexpr.Expr](bctx, plan, citeexpr.Semiring{}, annot, innerWorkers)
-		if err != nil {
-			bsp.Set("outcome", "eval-error")
-			return branch{}, err
-		}
-		bsp.Set("outcome", "ok")
-		b := branch{annotated: annotated}
-		for _, a := range annotated {
-			b.ix.AddOwned(a.Tuple)
-		}
-		return b, nil
+		return e.b, e.err
 	}
-
-	branches := make([]branch, len(evalSet))
+	branches := make([]*branch, len(evalSet))
 	if len(evalSet) == 1 {
 		b, err := evalOne(0, evalSet[0], workers)
 		if err != nil {
@@ -753,6 +825,40 @@ func (g *Generator) evalBranches(ctx context.Context, evalSet []*rewrite.Rewriti
 		}
 	}
 	return branches, nil
+}
+
+// evalBranch performs one rewriting's annotated evaluation — the cache
+// miss path of evalBranches. One span per alternative rewriting: view
+// materializations, plan compilation and the enumeration itself nest
+// under it, so a trace shows which alternative cost what. Branches may
+// run concurrently — sibling spans are mutex-appended to "eval".
+func (g *Generator) evalBranch(ctx context.Context, idx int, q *cq.Query, rw *rewrite.Rewriting, db *storage.Database, ver, innerWorkers int, annot func(string, storage.Tuple) citeexpr.Expr) (*branch, error) {
+	bctx, bsp := trace.StartSpan(ctx, "branch")
+	defer bsp.End()
+	bsp.Set("alt", idx)
+	bsp.Set("views", len(rw.ViewAtoms))
+	bsp.Set("base_atoms", len(rw.BaseAtoms))
+	inst, err := g.instanceFor(bctx, rw, db, ver)
+	if err != nil {
+		bsp.Set("outcome", "materialize-error")
+		return nil, err
+	}
+	plan, err := g.planFor(bctx, ver, inst, q)
+	if err != nil {
+		bsp.Set("outcome", "compile-error")
+		return nil, err
+	}
+	annotated, err := eval.RunAnnotatedParallelCtx[citeexpr.Expr](bctx, plan, citeexpr.Semiring{}, annot, innerWorkers)
+	if err != nil {
+		bsp.Set("outcome", "eval-error")
+		return nil, err
+	}
+	bsp.Set("outcome", "ok")
+	b := &branch{annotated: annotated}
+	for _, a := range annotated {
+		b.ix.AddOwned(a.Tuple)
+	}
+	return b, nil
 }
 
 // CiteTuple returns the citation of a single answer tuple of q, or an
@@ -895,6 +1001,14 @@ func (g *Generator) evictVersion(ver int) {
 		}
 	}
 	g.planMu.Unlock()
+
+	g.branchMu.Lock()
+	for k := range g.branchCache {
+		if k.ver == ver {
+			delete(g.branchCache, k)
+		}
+	}
+	g.branchMu.Unlock()
 }
 
 // materializeAt evaluates the named view over db with singleflight caching
@@ -951,9 +1065,10 @@ func (g *Generator) materializeView(db *storage.Database, viewName string) (*sto
 	if err := eval.Materialize(db, v.Query, inst); err != nil {
 		return nil, nil, err
 	}
-	for col := 0; col < rs.Arity(); col++ {
-		inst.BuildIndex(col)
-	}
+	// No eager per-column index build: the plans compiled over the view
+	// EnsureIndex exactly the probe columns they select, and a read-hot
+	// view earns a columnar block (storage.ColumnarBlock) that serves
+	// probes and scans without indexes at all.
 	pos, err := v.ParamPositions()
 	if err != nil {
 		return nil, nil, err
@@ -1058,6 +1173,27 @@ func (g *Generator) InvalidateAtoms(view string) {
 		if k.ver == 0 && strings.HasPrefix(k.name, prefix) &&
 			(len(k.name) == len(prefix) || k.name[len(prefix)] == '(') {
 			delete(g.atomCache, k)
+		}
+	}
+}
+
+// InvalidateBranches evicts the head-generation branch entries whose
+// rewritings transitively read rel. The evolution maintainer calls this
+// per applied delta: it refreshes view instances in place (so views and
+// plans stay valid), but a cached branch holds materialized answers and
+// annotations that the delta may have changed.
+func (g *Generator) InvalidateBranches(rel string) {
+	g.branchMu.Lock()
+	defer g.branchMu.Unlock()
+	for k, e := range g.branchCache {
+		if k.ver != 0 {
+			continue
+		}
+		for _, d := range e.deps {
+			if d == rel {
+				delete(g.branchCache, k)
+				break
+			}
 		}
 	}
 }

@@ -158,7 +158,9 @@ func NewSystemFromDatabase(db *storage.Database) *System {
 			return true
 		})
 	}
-	head.BuildIndexes()
+	// No eager index build: the planner calls EnsureIndex for exactly the
+	// probe columns its compiled plans select (and columnarizes read-hot
+	// relations), so startup never pays for columns no query probes.
 	sys.syncRelGensLocked()
 	return sys
 }

@@ -176,7 +176,10 @@ func Open(dir string, opts DurableOptions) (*System, error) {
 		return nil, err
 	}
 
-	head.BuildIndexes()
+	// Recovery rebuilds data only; indexes and columnar blocks reappear
+	// on demand as the planner's EnsureIndex/ColumnarBlock calls touch the
+	// columns real queries probe, keeping restart cost proportional to the
+	// log, not to schema width.
 	sys.gen.InvalidateCache()
 	// Replay mutated relations past the construction-time baseline; the
 	// caches are empty now, so re-baseline: the first post-recovery commit

@@ -1,0 +1,282 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/gtopdb"
+	"repro/internal/semiring"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// withColumnar runs fn with the columnar fast path forced on or off,
+// restoring the previous setting afterwards.
+func withColumnar(enabled bool, fn func()) {
+	prev := columnarEnabled
+	columnarEnabled = enabled
+	defer func() { columnarEnabled = prev }()
+	fn()
+}
+
+// columnarize force-builds a block for every relation of the instance.
+func columnarize(t *testing.T, db *storage.Database) {
+	t.Helper()
+	for _, name := range db.Schema().Names() {
+		if db.Relation(name).EnsureColumnar() == nil {
+			t.Fatalf("EnsureColumnar(%s) returned nil", name)
+		}
+	}
+}
+
+// TestColumnarMatchesRowRandomized pins the columnar fast path against the
+// row path on a randomized workload: for every generated query, over both
+// the mutable database and a frozen snapshot, the set-semantics answers,
+// binding counts, existence tests and every semiring's annotations must be
+// identical whether the walk compares dictionary codes or value.Values.
+// The row path is the oracle (itself pinned against the naive interpreter
+// by TestPlanMatchesNaiveOracleRandomized).
+func TestColumnarMatchesRowRandomized(t *testing.T) {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 60
+	db := gtopdb.Generate(cfg)
+	snap := db.Snapshot()
+	columnarize(t, db)
+	columnarize(t, snap)
+
+	instances := []struct {
+		label string
+		inst  Instance
+	}{{"mutable", db}, {"frozen", snap}}
+
+	for _, shape := range []workload.Shape{workload.Chain, workload.Star} {
+		for seed := int64(1); seed <= 3; seed++ {
+			queries, err := workload.Generate(gtopdb.Schema(), workload.Config{
+				Queries:     25,
+				MinAtoms:    1,
+				MaxAtoms:    3,
+				ProjectRate: 0.5,
+				Shape:       shape,
+				Seed:        seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range queries {
+				for _, in := range instances {
+					name := fmt.Sprintf("%s-%s-seed%d-%s", in.label, shape, seed, q.Name)
+					compareColumnarToRow(t, name, in.inst, q, 1+qi%4)
+				}
+			}
+		}
+	}
+}
+
+// compareColumnarToRow checks one query on one instance across both
+// storage paths, all semirings, and sequential + parallel runs.
+func compareColumnarToRow(t *testing.T, name string, inst Instance, q *cq.Query, workers int) {
+	t.Helper()
+
+	var wantTuples []storage.Tuple
+	var wantCount int
+	var wantHas bool
+	withColumnar(false, func() {
+		var err error
+		if wantTuples, err = Eval(inst, q); err != nil {
+			t.Fatalf("%s: row Eval: %v", name, err)
+		}
+		if wantCount, err = CountBindings(inst, q); err != nil {
+			t.Fatalf("%s: row CountBindings: %v", name, err)
+		}
+		if wantHas, err = HasBinding(inst, q); err != nil {
+			t.Fatalf("%s: row HasBinding: %v", name, err)
+		}
+	})
+
+	withColumnar(true, func() {
+		got, err := Eval(inst, q)
+		if err != nil {
+			t.Fatalf("%s: columnar Eval: %v", name, err)
+		}
+		if len(got) != len(wantTuples) {
+			t.Fatalf("%s: columnar %d tuples, row %d", name, len(got), len(wantTuples))
+		}
+		for i := range wantTuples {
+			if !got[i].Equal(wantTuples[i]) {
+				t.Fatalf("%s: tuple %d: columnar %v, row %v", name, i, got[i], wantTuples[i])
+			}
+		}
+		n, err := CountBindings(inst, q)
+		if err != nil {
+			t.Fatalf("%s: columnar CountBindings: %v", name, err)
+		}
+		if n != wantCount {
+			t.Fatalf("%s: columnar CountBindings = %d, row %d", name, n, wantCount)
+		}
+		has, err := HasBinding(inst, q)
+		if err != nil {
+			t.Fatalf("%s: columnar HasBinding: %v", name, err)
+		}
+		if has != wantHas {
+			t.Fatalf("%s: columnar HasBinding = %v, row %v", name, has, wantHas)
+		}
+	})
+
+	compareSemiringPaths(t, name, inst, q, workers, semiring.Bool{},
+		func(string, storage.Tuple) bool { return true })
+	compareSemiringPaths(t, name, inst, q, workers, semiring.Natural{},
+		func(string, storage.Tuple) int { return 1 })
+	why := semiring.Why{}
+	compareSemiringPaths[semiring.WhySet](t, name, inst, q, workers, why,
+		func(pred string, tp storage.Tuple) semiring.WhySet {
+			return why.Singleton(pred + ":" + tp.Key())
+		})
+	poly := semiring.Polynomial{}
+	compareSemiringPaths[semiring.Poly](t, name, inst, q, workers, poly,
+		func(pred string, tp storage.Tuple) semiring.Poly {
+			return poly.Token(pred + ":" + tp.Key())
+		})
+}
+
+// compareSemiringPaths compares columnar vs row annotated evaluation under
+// one semiring at 1 and `workers` workers. Both paths must agree on tuple
+// order and on the annotation values — including the structure of free
+// expressions, which is sensitive to enumeration order.
+func compareSemiringPaths[T any](t *testing.T, name string, inst Instance, q *cq.Query, workers int, sr semiring.Semiring[T], annot func(string, storage.Tuple) T) {
+	t.Helper()
+	for _, w := range []int{1, workers} {
+		var want []Annotated[T]
+		var err error
+		withColumnar(false, func() {
+			want, err = EvalAnnotatedParallel(inst, q, sr, annot, w)
+		})
+		if err != nil {
+			t.Fatalf("%s: row annotated (workers=%d): %v", name, w, err)
+		}
+		var got []Annotated[T]
+		withColumnar(true, func() {
+			got, err = EvalAnnotatedParallel(inst, q, sr, annot, w)
+		})
+		if err != nil {
+			t.Fatalf("%s: columnar annotated (workers=%d): %v", name, w, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s (workers=%d): columnar %d annotated tuples, row %d", name, w, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Tuple.Equal(want[i].Tuple) {
+				t.Fatalf("%s (workers=%d): tuple %d differs: columnar %v, row %v",
+					name, w, i, got[i].Tuple, want[i].Tuple)
+			}
+			if !sr.Equal(got[i].Annotation, want[i].Annotation) {
+				t.Fatalf("%s (workers=%d): tuple %d annotation diverged:\ncolumnar %v\n     row %v",
+					name, w, i, got[i].Annotation, want[i].Annotation)
+			}
+		}
+	}
+}
+
+// TestColumnarCancellation: the cancelable columnar walk observes a
+// context canceled mid-enumeration, exactly like the row walk.
+func TestColumnarCancellation(t *testing.T) {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 200
+	snap := gtopdb.Generate(cfg).Snapshot()
+	columnarize(t, snap)
+	q := cq.MustParse("Q(A, B) :- Family(F, A, D), Committee(F, B)")
+	p, err := Compile(snap, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.EvalContext(ctx); err == nil {
+		t.Fatal("canceled columnar EvalContext returned nil error")
+	}
+}
+
+// TestColumnarScanAllocsZero: warm columnar enumeration over a frozen
+// snapshot allocates nothing per binding — full scans iterate the dense
+// code vectors, probes walk posting lists in place, and the pooled run
+// state carries every buffer. Counting and existence runs are the
+// allocation-free consumers, so they must measure exactly zero.
+func TestColumnarScanAllocsZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation makes sync.Pool allocate per Get")
+	}
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 50
+	snap := gtopdb.Generate(cfg).Snapshot()
+	columnarize(t, snap)
+
+	for _, tc := range []struct {
+		label string
+		query string
+	}{
+		{"scan", "Q(A, B) :- Family(F, A, B)"},
+		{"join", "Q(A, B) :- Family(F, A, D), Committee(F, B)"},
+		{"const-probe", `Q(B) :- Family(F, "family-7", D), Committee(F, B)`},
+	} {
+		q := cq.MustParse(tc.query)
+		p, err := Compile(snap, q)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		want := p.CountBindings() // warm the pool and the blocks
+		if allocs := testing.AllocsPerRun(100, func() {
+			if n := p.CountBindings(); n != want {
+				t.Fatalf("%s: count changed: %d != %d", tc.label, n, want)
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: warm columnar CountBindings allocates %.1f per run, want 0", tc.label, allocs)
+		}
+		if allocs := testing.AllocsPerRun(100, func() { p.HasBinding() }); allocs != 0 {
+			t.Errorf("%s: warm columnar HasBinding allocates %.1f per run, want 0", tc.label, allocs)
+		}
+	}
+}
+
+// TestColumnarSpanAttribute: a traced run over columnar-served relations
+// records the `columnar` attribute (and the step count) on the eval span,
+// so /debug/traces shows which storage path served a request.
+func TestColumnarSpanAttribute(t *testing.T) {
+	cfg := gtopdb.DefaultConfig()
+	cfg.Families = 20
+	snap := gtopdb.Generate(cfg).Snapshot()
+	columnarize(t, snap)
+	q := cq.MustParse("Q(A, B) :- Family(F, A, D), Committee(F, B)")
+	p, err := Compile(snap, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := trace.New("test")
+	ctx := trace.ContextWithSpan(context.Background(), tr.Root())
+	if _, err := RunAnnotatedParallelCtx(ctx, p, semiring.Bool{},
+		func(string, storage.Tuple) bool { return true }, 1); err != nil {
+		t.Fatal(err)
+	}
+	attrs := tr.Root().Snapshot().Attrs
+	if v, ok := attrs["columnar"]; !ok || v != true {
+		t.Fatalf("columnar attr = %v (present=%v), want true", v, ok)
+	}
+	if v, ok := attrs["columnar_steps"]; !ok || v != len(p.steps) {
+		t.Fatalf("columnar_steps attr = %v (present=%v), want %d", v, ok, len(p.steps))
+	}
+
+	// The row path reports columnar=false.
+	withColumnar(false, func() {
+		tr2 := trace.New("test-row")
+		ctx2 := trace.ContextWithSpan(context.Background(), tr2.Root())
+		if _, err := RunAnnotatedParallelCtx(ctx2, p, semiring.Bool{},
+			func(string, storage.Tuple) bool { return true }, 1); err != nil {
+			t.Fatal(err)
+		}
+		if v := tr2.Root().Snapshot().Attrs["columnar"]; v != false {
+			t.Fatalf("row-path columnar attr = %v, want false", v)
+		}
+	})
+}

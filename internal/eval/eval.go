@@ -25,7 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cq"
 	"repro/internal/semiring"
@@ -406,7 +406,7 @@ func naiveEval(inst Instance, q *cq.Query) ([]storage.Tuple, error) {
 	for _, t := range seen {
 		out = append(out, t)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	slices.SortFunc(out, storage.Tuple.Compare)
 	return out, nil
 }
 
@@ -455,6 +455,6 @@ func naiveEvalAnnotated[T any](inst Instance, q *cq.Query, sr semiring.Semiring[
 	for _, k := range order {
 		out = append(out, *acc[k])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	slices.SortFunc(out, func(a, b Annotated[T]) int { return a.Tuple.Compare(b.Tuple) })
 	return out, nil
 }

@@ -70,7 +70,7 @@ func RunAnnotatedParallelCtx[T any](ctx context.Context, p *Plan, sr semiring.Se
 		if err != nil {
 			return nil, err
 		}
-		recordEvalStats(sp, 1, acc.examined, acc.ix.Len())
+		recordEvalStats(sp, p, 1, acc.examined, acc.ix.Len(), acc.columnar)
 		return finishAnnotated(acc), nil
 	}
 	leading := p.leadingCandidates()
@@ -83,7 +83,7 @@ func RunAnnotatedParallelCtx[T any](ctx context.Context, p *Plan, sr semiring.Se
 		if err != nil {
 			return nil, err
 		}
-		recordEvalStats(sp, 1, acc.examined, acc.ix.Len())
+		recordEvalStats(sp, p, 1, acc.examined, acc.ix.Len(), acc.columnar)
 		return finishAnnotated(acc), nil
 	}
 
@@ -127,6 +127,9 @@ func RunAnnotatedParallelCtx[T any](ctx context.Context, p *Plan, sr semiring.Se
 			continue
 		}
 		total.examined += r.examined
+		if r.columnar > total.columnar {
+			total.columnar = r.columnar
+		}
 		for i, t := range r.ix.tuples {
 			id, added := total.ix.AddOwned(t)
 			if added {
@@ -136,20 +139,25 @@ func RunAnnotatedParallelCtx[T any](ctx context.Context, p *Plan, sr semiring.Se
 			}
 		}
 	}
-	recordEvalStats(sp, workers, total.examined, total.ix.Len())
+	recordEvalStats(sp, p, workers, total.examined, total.ix.Len(), total.columnar)
 	return finishAnnotated(total), nil
 }
 
 // recordEvalStats attaches the enumeration's work counters to the
 // current trace span, when one is active: candidate tuples examined
 // across all join depths (summed over workers), the parallelism
-// actually used after partitioning, and the distinct output tuples.
-// Nil-safe, so untraced runs pay nothing beyond the nil check.
-func recordEvalStats(sp *trace.Span, workers, examined, out int) {
+// actually used after partitioning, the distinct output tuples, and
+// which storage path served the run — `columnar` is true when every
+// join step read a dictionary-encoded block, and columnar_steps gives
+// the exact count for mixed plans. Nil-safe, so untraced runs pay
+// nothing beyond the nil check.
+func recordEvalStats(sp *trace.Span, p *Plan, workers, examined, out, columnar int) {
 	if sp == nil {
 		return
 	}
 	sp.Add("tuples_examined", int64(examined))
 	sp.Set("eval_workers", workers)
 	sp.Add("out_tuples", int64(out))
+	sp.Set("columnar", columnar > 0 && columnar == len(p.steps))
+	sp.Set("columnar_steps", columnar)
 }

@@ -3,7 +3,7 @@ package eval
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/cq"
@@ -80,6 +80,34 @@ type colCheck struct {
 	col  int
 	slot int // >= 0: compare against regs[slot]; -1: cnst
 	cnst value.Value
+	// sameAtom marks an intra-atom repeat of a fresh variable: the slot is
+	// written by this very step's binds, so the check must compare values
+	// after binding instead of dictionary codes before it (the columnar
+	// walk resolves code comparisons against registers bound by *earlier*
+	// steps only).
+	sameAtom bool
+}
+
+// columnarEnabled gates the columnar fast path. The randomized
+// equivalence tests flip it off to force the row path as the oracle; it
+// is on everywhere else.
+var columnarEnabled = true
+
+// colRun is the per-run columnar binding of one atom step: the block the
+// step's relation currently serves (nil = row path), the probe constant's
+// dictionary code, and one resolved code per check. Resolved once per
+// walk by bindBlocks, before any candidate is examined.
+type colRun struct {
+	blk       *storage.ColBlock
+	probeCode uint32 // code of probeConst when probeSlot < 0
+	// checkCodes[k] is the code for checks[k]: constants are resolved by
+	// bindBlocks, earlier-slot checks per step entry (registers are fixed
+	// for the duration of one entry's candidate loop).
+	checkCodes []uint32
+	// dead: a probe or check constant does not occur in its column's
+	// dictionary, so the step — and with it the whole conjunction — can
+	// never match.
+	dead bool
 }
 
 // runState is the per-run mutable state drawn from the plan's pool: the
@@ -91,6 +119,11 @@ type runState struct {
 	matched []storage.Tuple
 	cand    [][]storage.Tuple
 	headBuf storage.Tuple
+	// colSteps is the walk's columnar binding, refreshed by bindBlocks at
+	// the start of every run; columnarSteps counts how many steps it
+	// resolved to a block (surfaced as the `columnar` span attribute).
+	colSteps      []colRun
+	columnarSteps int
 	// examined is the number of candidate tuples the last cancelable
 	// walk looked at across all join depths — the counter the walk
 	// already keeps to pace its context polls, surfaced for tracing.
@@ -196,7 +229,7 @@ func Compile(inst Instance, q *cq.Query) (*Plan, error) {
 			case !t.IsVar:
 				probeable = append(probeable, boundCol{col, -1, t.Const})
 			case freshHere[t.Name]:
-				step.checks = append(step.checks, colCheck{col, slots[t.Name], value.Value{}})
+				step.checks = append(step.checks, colCheck{col: col, slot: slots[t.Name], sameAtom: true})
 			default:
 				if s, ok := slots[t.Name]; ok {
 					probeable = append(probeable, boundCol{col, s, value.Value{}})
@@ -225,7 +258,7 @@ func Compile(inst Instance, q *cq.Query) (*Plan, error) {
 			step.probeCol, step.probeSlot, step.probeConst = bc.col, bc.slot, bc.cnst
 			for i, bc := range probeable {
 				if i != pick {
-					step.checks = append(step.checks, colCheck{bc.col, bc.slot, bc.cnst})
+					step.checks = append(step.checks, colCheck{col: bc.col, slot: bc.slot, cnst: bc.cnst})
 				}
 			}
 		}
@@ -256,30 +289,231 @@ func (p *Plan) Slots() int { return p.nslots }
 
 func (p *Plan) initPool() {
 	p.pool.New = func() any {
-		return &runState{
-			regs:    make([]value.Value, p.nslots),
-			matched: make([]storage.Tuple, len(p.steps)),
-			cand:    make([][]storage.Tuple, len(p.steps)),
-			headBuf: make(storage.Tuple, len(p.query.Head)),
+		st := &runState{
+			regs:     make([]value.Value, p.nslots),
+			matched:  make([]storage.Tuple, len(p.steps)),
+			cand:     make([][]storage.Tuple, len(p.steps)),
+			headBuf:  make(storage.Tuple, len(p.query.Head)),
+			colSteps: make([]colRun, len(p.steps)),
 		}
+		for i := range p.steps {
+			if n := len(p.steps[i].checks); n > 0 {
+				st.colSteps[i].checkCodes = make([]uint32, n)
+			}
+		}
+		return st
 	}
 }
 
 func (p *Plan) getState() *runState  { return p.pool.Get().(*runState) }
 func (p *Plan) putState(s *runState) { p.pool.Put(s) }
 
+// bindBlocks resolves each step's columnar binding for one walk: which
+// steps have a current dictionary-encoded block, the dictionary codes of
+// every probe and check constant, and whether a constant's absence from
+// its column's dictionary makes the step (hence the whole conjunction)
+// unsatisfiable. Runs once per walk; the per-candidate loops then compare
+// uint32 codes instead of value.Values.
+func (p *Plan) bindBlocks(st *runState) {
+	st.columnarSteps = 0
+	for i := range p.steps {
+		s := &p.steps[i]
+		cs := &st.colSteps[i]
+		cs.blk, cs.dead = nil, false
+		if !columnarEnabled {
+			continue
+		}
+		blk := s.rel.ColumnarBlock()
+		if blk == nil {
+			continue
+		}
+		cs.blk = blk
+		st.columnarSteps++
+		if s.probeCol >= 0 && s.probeSlot < 0 {
+			code, ok := blk.Code(s.probeCol, s.probeConst)
+			if !ok {
+				cs.dead = true
+				continue
+			}
+			cs.probeCode = code
+		}
+		for k := range s.checks {
+			if c := &s.checks[k]; c.slot < 0 {
+				code, ok := blk.Code(c.col, c.cnst)
+				if !ok {
+					cs.dead = true
+					break
+				}
+				cs.checkCodes[k] = code
+			}
+		}
+	}
+}
+
+// colStep enumerates one join level through its columnar block: earlier-
+// slot check values resolve to dictionary codes once per entry, probe
+// candidates come from the block's posting list (full scans iterate the
+// dense row range), and every equality against an earlier binding or a
+// constant is a uint32 compare on the code vectors. Only intra-atom
+// repeats (sameAtom checks) compare values, after the step's own binds.
+// Returns false iff rec did (the caller stops the walk).
+func (p *Plan) colStep(st *runState, i int, rec func(int) bool) bool {
+	s := &p.steps[i]
+	cs := &st.colSteps[i]
+	if cs.dead {
+		return true
+	}
+	blk := cs.blk
+	for k := range s.checks {
+		c := &s.checks[k]
+		if c.sameAtom || c.slot < 0 {
+			continue
+		}
+		code, ok := blk.Code(c.col, st.regs[c.slot])
+		if !ok {
+			return true
+		}
+		cs.checkCodes[k] = code
+	}
+	var rows []uint32
+	end := 0
+	full := s.probeCol < 0
+	if full {
+		end = blk.Len()
+	} else {
+		code := cs.probeCode
+		if s.probeSlot >= 0 {
+			var ok bool
+			code, ok = blk.Code(s.probeCol, st.regs[s.probeSlot])
+			if !ok {
+				return true
+			}
+		}
+		rows = blk.Postings(s.probeCol, code)
+		end = len(rows)
+	}
+cand:
+	for idx := 0; idx < end; idx++ {
+		row := uint32(idx)
+		if !full {
+			row = rows[idx]
+		}
+		for k := range s.checks {
+			c := &s.checks[k]
+			if !c.sameAtom && blk.CodeAt(c.col, row) != cs.checkCodes[k] {
+				continue cand
+			}
+		}
+		t := blk.Row(row)
+		for _, b := range s.binds {
+			st.regs[b.slot] = t[b.col]
+		}
+		for k := range s.checks {
+			c := &s.checks[k]
+			if c.sameAtom && t[c.col] != st.regs[c.slot] {
+				continue cand
+			}
+		}
+		st.matched[i] = t
+		if !rec(i + 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// colStepCancel is colStep for the cancelable walk: candidates count into
+// *examined and the context is polled on the shared cadence.
+func (p *Plan) colStepCancel(ctx context.Context, st *runState, i int, examined *int, rec func(int) bool) bool {
+	s := &p.steps[i]
+	cs := &st.colSteps[i]
+	if cs.dead {
+		return true
+	}
+	blk := cs.blk
+	for k := range s.checks {
+		c := &s.checks[k]
+		if c.sameAtom || c.slot < 0 {
+			continue
+		}
+		code, ok := blk.Code(c.col, st.regs[c.slot])
+		if !ok {
+			return true
+		}
+		cs.checkCodes[k] = code
+	}
+	var rows []uint32
+	end := 0
+	full := s.probeCol < 0
+	if full {
+		end = blk.Len()
+	} else {
+		code := cs.probeCode
+		if s.probeSlot >= 0 {
+			var ok bool
+			code, ok = blk.Code(s.probeCol, st.regs[s.probeSlot])
+			if !ok {
+				return true
+			}
+		}
+		rows = blk.Postings(s.probeCol, code)
+		end = len(rows)
+	}
+cand:
+	for idx := 0; idx < end; idx++ {
+		*examined++
+		if *examined&cancelCheckMask == 0 && ctx.Err() != nil {
+			return false
+		}
+		row := uint32(idx)
+		if !full {
+			row = rows[idx]
+		}
+		for k := range s.checks {
+			c := &s.checks[k]
+			if !c.sameAtom && blk.CodeAt(c.col, row) != cs.checkCodes[k] {
+				continue cand
+			}
+		}
+		t := blk.Row(row)
+		for _, b := range s.binds {
+			st.regs[b.slot] = t[b.col]
+		}
+		for k := range s.checks {
+			c := &s.checks[k]
+			if c.sameAtom && t[c.col] != st.regs[c.slot] {
+				continue cand
+			}
+		}
+		st.matched[i] = t
+		if !rec(i + 1) {
+			return false
+		}
+	}
+	return true
+}
+
 // forEach enumerates every satisfying assignment, calling fn with the run
 // state (register file filled, matched tuples parallel to steps). When
 // leading is non-nil it supplies step 0's candidate tuples — the parallel
 // evaluator injects one contiguous chunk per worker. fn returning false
 // stops the walk; forEach reports whether it ran to completion.
+//
+// Steps whose relation carries a current columnar block take the
+// code-compare path (colStep); the rest — and step 0 when a leading chunk
+// of row tuples is injected — run the row path below, which is also the
+// oracle the randomized equivalence tests pin the columnar path against.
 func (p *Plan) forEach(st *runState, leading []storage.Tuple, fn func(*runState) bool) bool {
+	p.bindBlocks(st)
 	var rec func(i int) bool
 	rec = func(i int) bool {
 		if i == len(p.steps) {
 			return fn(st)
 		}
 		s := &p.steps[i]
+		if st.colSteps[i].blk != nil && (i != 0 || leading == nil) {
+			return p.colStep(st, i, rec)
+		}
 		var cands []storage.Tuple
 		if i == 0 && leading != nil {
 			cands = leading
@@ -332,6 +566,7 @@ func (p *Plan) forEach(st *runState, leading []storage.Tuple, fn func(*runState)
 // cancellation. It reports whether the walk ran to completion; callers
 // whose fn always returns true can read false as "canceled".
 func (p *Plan) forEachCancel(ctx context.Context, st *runState, leading []storage.Tuple, fn func(*runState) bool) bool {
+	p.bindBlocks(st)
 	examined := 0
 	defer func() { st.examined = examined }()
 	var rec func(i int) bool
@@ -340,6 +575,9 @@ func (p *Plan) forEachCancel(ctx context.Context, st *runState, leading []storag
 			return fn(st)
 		}
 		s := &p.steps[i]
+		if st.colSteps[i].blk != nil && (i != 0 || leading == nil) {
+			return p.colStepCancel(ctx, st, i, &examined, rec)
+		}
 		var cands []storage.Tuple
 		if i == 0 && leading != nil {
 			cands = leading
@@ -401,9 +639,22 @@ func (p *Plan) fillHead(st *runState) {
 }
 
 // leadingCandidates computes step 0's candidate tuples (the partition axis
-// of parallel runs).
+// of parallel runs), reading through the columnar block when the leading
+// relation has one — a posting-list gather instead of a locked lookup.
 func (p *Plan) leadingCandidates() []storage.Tuple {
 	s := &p.steps[0]
+	if columnarEnabled {
+		if blk := s.rel.ColumnarBlock(); blk != nil {
+			if s.probeCol < 0 {
+				return blk.AppendAll(nil)
+			}
+			// Step 0 has no earlier bindings, so its probe is a constant.
+			if code, ok := blk.Code(s.probeCol, s.probeConst); ok {
+				return blk.AppendRows(nil, blk.Postings(s.probeCol, code))
+			}
+			return nil
+		}
+	}
 	if s.probeCol >= 0 {
 		return s.rel.AppendLookup(nil, s.probeCol, s.probeConst)
 	}
@@ -425,7 +676,7 @@ func (p *Plan) Eval() []storage.Tuple {
 		return true
 	})
 	out := ix.tuples
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	slices.SortFunc(out, storage.Tuple.Compare)
 	return out
 }
 
@@ -454,7 +705,7 @@ func (p *Plan) EvalContext(ctx context.Context) ([]storage.Tuple, error) {
 		return nil, ctx.Err()
 	}
 	out := ix.tuples
-	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	slices.SortFunc(out, storage.Tuple.Compare)
 	return out, nil
 }
 
@@ -520,6 +771,9 @@ type annotAcc[T any] struct {
 	// examined counts the candidate tuples the walk looked at (only on
 	// the cancelable/traced path; 0 on the poll-free path).
 	examined int
+	// columnar is the number of plan steps the walk served from a
+	// dictionary-encoded block (the rest ran the row path).
+	columnar int
 }
 
 // accumBinding folds one satisfying assignment into the accumulator: the
@@ -550,6 +804,7 @@ func runAnnotatedLeading[T any](p *Plan, sr semiring.Semiring[T], annot func(pre
 		accumBinding(p, sr, annot, out, st)
 		return true
 	})
+	out.columnar = st.columnarSteps
 	return out
 }
 
@@ -585,6 +840,7 @@ func runAnnotatedLeadingCtx[T any](ctx context.Context, p *Plan, sr semiring.Sem
 		return nil, ctx.Err()
 	}
 	out.examined = st.examined
+	out.columnar = st.columnarSteps
 	return out, nil
 }
 
@@ -594,7 +850,7 @@ func finishAnnotated[T any](acc *annotAcc[T]) []Annotated[T] {
 	for i, t := range acc.ix.tuples {
 		out[i] = Annotated[T]{Tuple: t, Annotation: acc.anns[i]}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	slices.SortFunc(out, func(a, b Annotated[T]) int { return a.Tuple.Compare(b.Tuple) })
 	return out
 }
 
@@ -625,6 +881,11 @@ type TupleIndex struct {
 	mask   uint64
 	hashes []uint64 // hash per id, for cheap rejection and rehashing
 	tuples []storage.Tuple
+	// arena backs cloned tuples in shared chunks, so inserting n distinct
+	// tuples costs ~n/chunk allocations instead of n. Retained tuples
+	// slice into a chunk with capacity == length, so callers appending to
+	// a returned tuple cannot clobber a neighbor.
+	arena []value.Value
 }
 
 func hashTuple(t storage.Tuple) uint64 {
@@ -692,7 +953,7 @@ func (ix *TupleIndex) insert(t storage.Tuple, clone bool) (int, bool) {
 		if e == 0 {
 			id := len(ix.tuples)
 			if clone {
-				t = t.Clone()
+				t = ix.clone(t)
 			}
 			ix.tuples = append(ix.tuples, t)
 			ix.hashes = append(ix.hashes, h)
@@ -708,6 +969,28 @@ func (ix *TupleIndex) insert(t storage.Tuple, clone bool) (int, bool) {
 		}
 		i = (i + 1) & ix.mask
 	}
+}
+
+// clone copies t into the index's arena. Indexes are built once and never
+// shrink, so chunks stay reachable exactly as long as the tuples cut from
+// them.
+func (ix *TupleIndex) clone(t storage.Tuple) storage.Tuple {
+	n := len(t)
+	if n == 0 {
+		return storage.Tuple{}
+	}
+	if len(ix.arena) < n {
+		const chunk = 1024
+		sz := chunk
+		if n > sz {
+			sz = n
+		}
+		ix.arena = make([]value.Value, sz)
+	}
+	out := ix.arena[:n:n]
+	ix.arena = ix.arena[n:]
+	copy(out, t)
+	return out
 }
 
 func (ix *TupleIndex) grow() {

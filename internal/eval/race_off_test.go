@@ -1,0 +1,5 @@
+//go:build !race
+
+package eval
+
+const raceEnabled = false

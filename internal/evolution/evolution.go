@@ -165,6 +165,9 @@ func (m *Maintainer) Apply(d Delta) error {
 			m.Stats.AtomsInvalidated++
 		}
 	}
+	// Views and plans were refreshed in place, but cached branch
+	// evaluations hold answers computed before the delta.
+	m.gen.InvalidateBranches(d.Relation)
 	return nil
 }
 

@@ -265,3 +265,41 @@ func TestDeltaString(t *testing.T) {
 		t.Errorf("String = %q", d2.String())
 	}
 }
+
+// TestApplyInvalidatesBranchCache: the maintainer refreshes view
+// instances in place, so plans and views stay cached — but a cached
+// branch evaluation holds answers computed before the delta and must be
+// evicted. A repeat cite of the same query after a delta has to see the
+// inserted family.
+func TestApplyInvalidatesBranchCache(t *testing.T) {
+	sys, m := testSystem(t, 5)
+	g := sys.Generator()
+	q := cq.MustParse("Q(FName) :- Family(FID, FName, Desc)")
+
+	res, err := g.Cite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(res.Tuples)
+
+	if err := m.Apply(Delta{Insert: true, Relation: "Family",
+		Tuple: familyTuple(9001, "branch-cache-family")}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = g.Cite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != before+1 {
+		t.Fatalf("post-delta cite has %d tuples, want %d (stale branch cache?)", len(res.Tuples), before+1)
+	}
+	found := false
+	for _, tc := range res.Tuples {
+		if tc.Tuple[0].Equal(value.String("branch-cache-family")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inserted family missing from post-delta citation")
+	}
+}

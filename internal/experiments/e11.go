@@ -42,7 +42,6 @@ func E11PlanReuse() (*Table, error) {
 		cfg := gtopdb.DefaultConfig()
 		cfg.Families = families
 		db := gtopdb.Generate(cfg)
-		db.BuildIndexes()
 
 		plan, err := eval.Compile(db, q)
 		if err != nil {

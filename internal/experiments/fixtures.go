@@ -52,7 +52,6 @@ func PaperSystem() (*core.System, error) {
 			return nil, err
 		}
 	}
-	db.BuildIndexes()
 	if err := addPaperViews(sys); err != nil {
 		return nil, err
 	}
@@ -176,8 +175,6 @@ func NewChainSetup(joins, copies, tuplesPerRel int) (*ChainSetup, error) {
 			}
 		}
 	}
-	db.BuildIndexes()
-
 	cs := &ChainSetup{Schema: s, DB: db, Sys: sys}
 	for i := 0; i < joins; i++ {
 		for c := 0; c < copies; c++ {

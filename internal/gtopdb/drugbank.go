@@ -83,6 +83,5 @@ func GenerateDrugBank(cfg DrugBankConfig) *storage.Database {
 				value.String(effects[rng.Intn(len(effects))]))
 		}
 	}
-	db.BuildIndexes()
 	return db
 }

@@ -78,6 +78,5 @@ func GenerateEagleI(cfg EagleIConfig) *storage.Database {
 			value.String(fmt.Sprintf("%s resource %d", class, rid)))
 		provider.MustInsert(value.Int(int64(rid)), value.String(labs[rng.Intn(len(labs))]))
 	}
-	db.BuildIndexes()
 	return db
 }

@@ -153,6 +153,5 @@ func Generate(cfg Config) *storage.Database {
 			}
 		}
 	}
-	db.BuildIndexes()
 	return db
 }

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -176,6 +177,20 @@ func (m *serverMetrics) render(w *strings.Builder, s *Server) {
 	fmt.Fprintf(w, "citeserved_atom_cache_kept_total %d\n", gc.AtomsKept)
 	counter("citeserved_atom_cache_evicted_total", "Atom-cache entries evicted by a delta invalidation.")
 	fmt.Fprintf(w, "citeserved_atom_cache_evicted_total %d\n", gc.AtomsEvicted)
+	counter("citeserved_branch_cache_kept_total", "Cached branch evaluations that survived a delta invalidation.")
+	fmt.Fprintf(w, "citeserved_branch_cache_kept_total %d\n", gc.BranchesKept)
+	counter("citeserved_branch_cache_evicted_total", "Cached branch evaluations evicted by a delta invalidation.")
+	fmt.Fprintf(w, "citeserved_branch_cache_evicted_total %d\n", gc.BranchesEvicted)
+
+	cu := storage.ColumnarUsage()
+	counter("citeserved_columnar_blocks_total", "Dictionary-encoded columnar blocks built (mutable relations and frozen snapshots).")
+	fmt.Fprintf(w, "citeserved_columnar_blocks_total %d\n", cu.BlocksBuilt)
+	counter("citeserved_columnar_snapshots_total", "Frozen snapshot relations columnarized (built on demand or inherited at commit).")
+	fmt.Fprintf(w, "citeserved_columnar_snapshots_total %d\n", cu.SnapshotsColumnarized)
+	counter("citeserved_columnar_dict_bytes_total", "Cumulative dictionary bytes built into columnar blocks.")
+	fmt.Fprintf(w, "citeserved_columnar_dict_bytes_total %d\n", cu.DictBytes)
+	counter("citeserved_columnar_code_bytes_total", "Cumulative code-vector and posting-list bytes built into columnar blocks.")
+	fmt.Fprintf(w, "citeserved_columnar_code_bytes_total %d\n", cu.CodeBytes)
 
 	counter("citeserved_rejected_total", "Requests rejected by admission control.")
 	fmt.Fprintf(w, "citeserved_rejected_total %d\n", m.rejected.Load())

@@ -146,7 +146,6 @@ func Load(src string) (*core.System, error) {
 			return nil, fmt.Errorf("spec: line %d: %w", t.line, err)
 		}
 	}
-	db.BuildIndexes()
 	for _, pv := range views {
 		v := &citation.View{Query: pv.query, Citations: pv.cites, Static: pv.static}
 		if err := sys.Registry().Add(v); err != nil {

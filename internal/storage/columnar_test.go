@@ -1,0 +1,283 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/value"
+)
+
+func colSchema(t *testing.T) *schema.Relation {
+	t.Helper()
+	return schema.MustRelation("C", []schema.Attribute{
+		{Name: "id", Kind: value.KindInt},
+		{Name: "tag", Kind: value.KindString},
+	})
+}
+
+// TestColBlockEncoding: dictionary codes, code vectors and posting lists
+// describe exactly the relation's live tuples.
+func TestColBlockEncoding(t *testing.T) {
+	r := NewRelation(colSchema(t))
+	tags := []string{"x", "y", "x", "z", "y", "x"}
+	for i, tag := range tags {
+		r.MustInsert(value.Int(int64(i)), value.String(tag))
+	}
+	blk := r.EnsureColumnar()
+	if blk == nil {
+		t.Fatal("EnsureColumnar returned nil")
+	}
+	if blk.Len() != len(tags) {
+		t.Fatalf("block has %d rows, want %d", blk.Len(), len(tags))
+	}
+	if d := blk.DistinctCount(1); d != 3 {
+		t.Fatalf("DistinctCount(tag) = %d, want 3", d)
+	}
+	if d := blk.DistinctCount(0); d != len(tags) {
+		t.Fatalf("DistinctCount(id) = %d, want %d", d, len(tags))
+	}
+	// Every row's code decodes back to its value, and the posting list for
+	// each value returns exactly the rows holding it.
+	for col := 0; col < 2; col++ {
+		counts := make(map[value.Value]int)
+		for i := 0; i < blk.Len(); i++ {
+			row := blk.Row(uint32(i))
+			code, ok := blk.Code(col, row[col])
+			if !ok {
+				t.Fatalf("col %d: value %v missing from dictionary", col, row[col])
+			}
+			if got := blk.CodeAt(col, uint32(i)); got != code {
+				t.Fatalf("col %d row %d: CodeAt = %d, Code = %d", col, i, got, code)
+			}
+			counts[row[col]]++
+		}
+		for v, n := range counts {
+			code, _ := blk.Code(col, v)
+			post := blk.Postings(col, code)
+			if len(post) != n {
+				t.Fatalf("col %d: postings(%v) has %d rows, want %d", col, v, len(post), n)
+			}
+			for _, ri := range post {
+				if blk.Row(ri)[col] != v {
+					t.Fatalf("col %d: posting row %d holds %v, want %v", col, ri, blk.Row(ri)[col], v)
+				}
+			}
+		}
+	}
+	// Absent values miss the dictionary.
+	if _, ok := blk.Code(1, value.String("absent")); ok {
+		t.Fatal("absent value found in dictionary")
+	}
+}
+
+// TestColumnarInvalidation: every content mutation — single-tuple and
+// batch — drops the block; a block rebuilt afterwards sees the new
+// contents. Deletion holes are excluded from the dense rows.
+func TestColumnarInvalidation(t *testing.T) {
+	r := NewRelation(colSchema(t))
+	r.MustInsert(value.Int(1), value.String("a"))
+	r.MustInsert(value.Int(2), value.String("b"))
+
+	mutate := []struct {
+		label string
+		fn    func()
+		rows  int
+	}{
+		{"Insert", func() { r.MustInsert(value.Int(3), value.String("c")) }, 3},
+		{"Delete", func() { r.Delete(Tuple{value.Int(3), value.String("c")}) }, 2},
+		{"InsertBatch", func() {
+			if _, err := r.InsertBatch([]Tuple{
+				{value.Int(4), value.String("d")},
+				{value.Int(5), value.String("e")},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}, 4},
+		{"DeleteBatch", func() {
+			if _, err := r.DeleteBatch([]Tuple{{value.Int(4), value.String("d")}}); err != nil {
+				t.Fatal(err)
+			}
+		}, 3},
+	}
+	for _, m := range mutate {
+		before := r.EnsureColumnar()
+		if before == nil {
+			t.Fatalf("%s: EnsureColumnar returned nil before mutation", m.label)
+		}
+		m.fn()
+		if got := r.ColumnarBlock(); got == before {
+			t.Fatalf("%s: stale block served after mutation", m.label)
+		}
+		after := r.EnsureColumnar()
+		if after == nil || after == before {
+			t.Fatalf("%s: block not rebuilt (got %p, stale %p)", m.label, after, before)
+		}
+		if after.Len() != m.rows {
+			t.Fatalf("%s: rebuilt block has %d rows, want %d", m.label, after.Len(), m.rows)
+		}
+	}
+}
+
+// TestColumnarDemandThreshold: mutable relations earn a block only after
+// repeated requests with no intervening mutation; frozen snapshots build
+// on first request and keep the block forever.
+func TestColumnarDemandThreshold(t *testing.T) {
+	r := NewRelation(colSchema(t))
+	r.MustInsert(value.Int(1), value.String("a"))
+
+	if blk := r.ColumnarBlock(); blk != nil {
+		t.Fatal("first request built a block for a mutable relation")
+	}
+	if blk := r.ColumnarBlock(); blk == nil {
+		t.Fatalf("request %d did not build a block", columnarDemandThreshold)
+	}
+	// A mutation restarts the demand count.
+	r.MustInsert(value.Int(2), value.String("b"))
+	if blk := r.ColumnarBlock(); blk != nil {
+		t.Fatal("first request after a mutation built a block")
+	}
+
+	snap := r.Snapshot()
+	blk := snap.ColumnarBlock()
+	if blk == nil {
+		t.Fatal("frozen snapshot did not build on first request")
+	}
+	if again := snap.ColumnarBlock(); again != blk {
+		t.Fatal("frozen snapshot did not keep its block")
+	}
+	// The source keeps mutating; the snapshot's block is unaffected.
+	r.MustInsert(value.Int(3), value.String("c"))
+	if again := snap.ColumnarBlock(); again != blk || again.Len() != 2 {
+		t.Fatalf("snapshot block disturbed by source mutation (%p vs %p, %d rows)", again, blk, blk.Len())
+	}
+}
+
+// TestSnapshotInheritsBlock: a snapshot taken while the source holds a
+// current block adopts it instead of rebuilding.
+func TestSnapshotInheritsBlock(t *testing.T) {
+	r := NewRelation(colSchema(t))
+	r.MustInsert(value.Int(1), value.String("a"))
+	blk := r.EnsureColumnar()
+	if blk == nil {
+		t.Fatal("EnsureColumnar returned nil")
+	}
+	snap := r.Snapshot()
+	if got := snap.ColumnarBlock(); got != blk {
+		t.Fatalf("snapshot built a fresh block (%p) instead of inheriting %p", got, blk)
+	}
+}
+
+// TestDistinctCountBatchInvalidation: the planner's distinct-count memo
+// must move with batch mutations exactly as with single-tuple ones — a
+// stale count would silently skew every subsequent plan's atom order.
+func TestDistinctCountBatchInvalidation(t *testing.T) {
+	r := NewRelation(colSchema(t))
+	if _, err := r.InsertBatch([]Tuple{
+		{value.Int(1), value.String("a")},
+		{value.Int(2), value.String("a")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.DistinctCount(1); n != 1 {
+		t.Fatalf("DistinctCount(tag) = %d, want 1", n)
+	}
+	if _, err := r.InsertBatch([]Tuple{
+		{value.Int(3), value.String("b")},
+		{value.Int(4), value.String("c")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.DistinctCount(1); n != 3 {
+		t.Fatalf("DistinctCount(tag) after InsertBatch = %d, want 3", n)
+	}
+	if _, err := r.DeleteBatch([]Tuple{
+		{value.Int(3), value.String("b")},
+		{value.Int(4), value.String("c")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.DistinctCount(1); n != 1 {
+		t.Fatalf("DistinctCount(tag) after DeleteBatch = %d, want 1", n)
+	}
+	// A no-op batch (all duplicates) must not disturb the memo — and must
+	// not invalidate a columnar block either.
+	blk := r.EnsureColumnar()
+	if _, err := r.InsertBatch([]Tuple{{value.Int(1), value.String("a")}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ColumnarBlock(); got != blk {
+		t.Fatal("no-op batch invalidated the columnar block")
+	}
+	// With a block current, DistinctCount answers from the dictionary.
+	if n := r.DistinctCount(1); n != 1 {
+		t.Fatalf("dictionary DistinctCount(tag) = %d, want 1", n)
+	}
+}
+
+// TestColumnarUsageCounters: building and inheriting blocks moves the
+// process-wide counters exposed on /metrics.
+func TestColumnarUsageCounters(t *testing.T) {
+	before := ColumnarUsage()
+	r := NewRelation(colSchema(t))
+	for i := 0; i < 8; i++ {
+		r.MustInsert(value.Int(int64(i)), value.String(fmt.Sprintf("t%d", i%3)))
+	}
+	if r.EnsureColumnar() == nil {
+		t.Fatal("EnsureColumnar returned nil")
+	}
+	snap := r.Snapshot() // inherits the current block
+	if snap.ColumnarBlock() == nil {
+		t.Fatal("snapshot has no block")
+	}
+	after := ColumnarUsage()
+	if after.BlocksBuilt <= before.BlocksBuilt {
+		t.Error("BlocksBuilt did not advance")
+	}
+	if after.SnapshotsColumnarized <= before.SnapshotsColumnarized {
+		t.Error("SnapshotsColumnarized did not advance")
+	}
+	if after.DictBytes <= before.DictBytes || after.CodeBytes <= before.CodeBytes {
+		t.Errorf("byte counters did not advance: dict %d->%d, code %d->%d",
+			before.DictBytes, after.DictBytes, before.CodeBytes, after.CodeBytes)
+	}
+}
+
+// TestColumnarConcurrentBuild hammers a mutable relation with concurrent
+// block requests while a writer mutates — meaningful under -race; also
+// asserts no reader ever observes a block inconsistent with a quiescent
+// final state.
+func TestColumnarConcurrentBuild(t *testing.T) {
+	r := NewRelation(colSchema(t))
+	for i := 0; i < 100; i++ {
+		r.MustInsert(value.Int(int64(i)), value.String("seed"))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 100; i < 200; i++ {
+			r.MustInsert(value.Int(int64(i)), value.String("w"))
+		}
+	}()
+	for {
+		if blk := r.ColumnarBlock(); blk != nil {
+			// Whatever generation this block is from, its row count must
+			// match a prefix state: between 100 and 200 rows.
+			if n := blk.Len(); n < 100 || n > 200 {
+				t.Fatalf("block has %d rows, outside [100,200]", n)
+			}
+		}
+		select {
+		case <-done:
+			blk := r.EnsureColumnar()
+			if blk == nil {
+				t.Fatal("EnsureColumnar nil after writer finished")
+			}
+			if blk.Len() != 200 {
+				t.Fatalf("final block has %d rows, want 200", blk.Len())
+			}
+			return
+		default:
+		}
+	}
+}

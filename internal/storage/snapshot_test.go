@@ -103,9 +103,13 @@ func TestDatabaseSnapshotImmutable(t *testing.T) {
 	if _, err := snap.Delete("R", value.Int(1), value.String("x")); err == nil {
 		t.Error("delete from frozen database succeeded")
 	}
-	// Snapshot ensured indexes exist on all columns for fast reads.
-	if !snap.Relation("R").HasIndex(0) || !snap.Relation("R").HasIndex(1) {
-		t.Error("snapshot missing ensured indexes")
+	// Snapshots no longer pre-build per-column hash indexes; fast reads
+	// come from the columnar block, which frozen relations build on first
+	// request and keep forever.
+	if blk := snap.Relation("R").ColumnarBlock(); blk == nil {
+		t.Error("frozen snapshot did not columnarize on demand")
+	} else if blk.Len() != 1 {
+		t.Errorf("snapshot block has %d rows, want 1", blk.Len())
 	}
 }
 

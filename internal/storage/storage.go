@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/schema"
 	"repro/internal/value"
@@ -110,12 +111,22 @@ type Relation struct {
 
 	// Statistics cache for the query planner. distinct memoizes per-column
 	// distinct counts; it is dropped on every content mutation (Insert,
-	// Delete) and therefore permanent on frozen relations. statsMu is
-	// separate from mu so frozen relations — whose readers skip mu entirely
-	// — can still fill the cache; it is never held while acquiring mu.
+	// Delete, InsertBatch, DeleteBatch) and therefore permanent on frozen
+	// relations. statsMu is separate from mu so frozen relations — whose
+	// readers skip mu entirely — can still fill the cache; it is never held
+	// while acquiring mu. statsGen is atomic so the columnar-block fast
+	// path can validate a block's generation without taking any lock.
 	statsMu  sync.Mutex
-	statsGen uint64
+	statsGen atomic.Uint64
 	distinct map[int]int
+
+	// Columnar cache (see columnar.go): the current dictionary-encoded
+	// block, the demand counter that decides when a mutable relation earns
+	// one, and the builder lock. Dropped by bumpStats on every content
+	// mutation; permanent on frozen snapshots.
+	colBlk    atomic.Pointer[ColBlock]
+	colDemand atomic.Uint32
+	colMu     sync.Mutex
 }
 
 // NewRelation creates an empty relation instance for the given schema.
@@ -197,13 +208,22 @@ func (r *Relation) Snapshot() *Relation {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.shared = true
-	return &Relation{
+	snap := &Relation{
 		schema:  r.schema,
 		frozen:  true,
 		tuples:  r.tuples,
 		present: r.present,
 		indexes: r.indexes,
 	}
+	// A columnar block current at snapshot time describes exactly the
+	// contents being frozen, so the snapshot adopts it: commits of a
+	// read-hot head hand out snapshots that are columnar from birth.
+	// mu is held, so the generation cannot move under the check.
+	if blk := r.colBlk.Load(); blk != nil && blk.gen == r.statsGen.Load() {
+		snap.colBlk.Store(blk)
+		colSnapshots.Add(1)
+	}
+	return snap
 }
 
 // Len returns the number of live tuples.
@@ -241,14 +261,20 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	return true, nil
 }
 
-// bumpStats drops the statistics cache after a content mutation. Called
-// with mu held; statsMu is acquired on its own (no lock cycle: statsMu is
-// never held while acquiring mu).
+// bumpStats drops the statistics and columnar caches after a content
+// mutation. Called with mu held; statsMu is acquired on its own (no lock
+// cycle: statsMu is never held while acquiring mu).
 func (r *Relation) bumpStats() {
 	r.statsMu.Lock()
-	r.statsGen++
+	r.statsGen.Add(1)
 	r.distinct = nil
 	r.statsMu.Unlock()
+	// Readers validate blk.gen against statsGen, so clearing the pointer
+	// is an optimization (freeing the memory promptly), not a correctness
+	// requirement. The demand counter restarts: a relation must prove
+	// it is read-hot again after every write before the next build.
+	r.colBlk.Store(nil)
+	r.colDemand.Store(0)
 }
 
 // Check validates a tuple against the relation schema (arity and value
@@ -264,9 +290,7 @@ func (r *Relation) Check(t Tuple) error { return r.checkTuple(t) }
 // whose contents the log cannot reproduce would make the directory
 // unrecoverable, so such a commit must be refused up front.
 func (r *Relation) Generation() uint64 {
-	r.statsMu.Lock()
-	defer r.statsMu.Unlock()
-	return r.statsGen
+	return r.statsGen.Load()
 }
 
 // InsertBatch inserts a batch of tuples under one lock acquisition,
@@ -424,9 +448,11 @@ func (r *Relation) buildIndexLocked(col int) {
 // EnsureIndex builds a hash index on the column if one does not exist yet,
 // reporting whether an index is available afterwards. On frozen snapshots
 // no index can be built (they are immutable), so the report is simply
-// whether the snapshot inherited one; Database.Snapshot pre-builds every
-// column index, so snapshots taken through it always have full support.
-// The query planner calls this for the probe columns it selects.
+// whether the snapshot inherited one — frozen relations instead serve
+// probes through their columnar block (ColumnarBlock), which any reader
+// can build because it lives outside the frozen storage. The query
+// planner calls this for the probe columns it selects on mutable
+// relations.
 func (r *Relation) EnsureIndex(col int) bool {
 	if r.HasIndex(col) {
 		return true
@@ -550,12 +576,18 @@ func (r *Relation) SortedTuples() []Tuple {
 // content mutation; on frozen relations the cache is permanent, so a plan
 // compiled against a snapshot reads statistics at map-lookup cost.
 func (r *Relation) DistinctCount(col int) int {
+	// A current columnar block answers for free: the dictionary length is
+	// the distinct count, exact by construction. On frozen snapshots this
+	// is the permanent memo the planner reads on every compile.
+	if blk := r.colBlk.Load(); blk != nil && (r.frozen || blk.gen == r.statsGen.Load()) {
+		return blk.DistinctCount(col)
+	}
 	r.statsMu.Lock()
 	if n, ok := r.distinct[col]; ok {
 		r.statsMu.Unlock()
 		return n
 	}
-	gen := r.statsGen
+	gen := r.statsGen.Load()
 	r.statsMu.Unlock()
 
 	n := r.distinctCount(col)
@@ -563,7 +595,7 @@ func (r *Relation) DistinctCount(col int) int {
 	// Store only if no mutation landed while we computed, so a stale count
 	// can never mask newer contents.
 	r.statsMu.Lock()
-	if r.statsGen == gen {
+	if r.statsGen.Load() == gen {
 		if r.distinct == nil {
 			r.distinct = make(map[int]int, r.schema.Arity())
 		}
@@ -722,21 +754,17 @@ func (db *Database) Clone() *Database {
 }
 
 // Snapshot returns an immutable copy-on-write view of the database — the
-// cheap versioning primitive behind fixity commits. Indexes missing on any
-// column are built on the live relations first, so snapshot readers always
-// join with index support. Creation cost is O(relations), not O(data):
-// each relation shares storage with its snapshot and detaches lazily on
-// its next write.
+// cheap versioning primitive behind fixity commits. Creation cost is
+// O(relations), not O(data): each relation shares storage with its
+// snapshot and detaches lazily on its next write. Snapshot readers join
+// through whatever access support the source already earned — inherited
+// hash indexes, an inherited columnar block, or the block the planner
+// builds on first access (frozen relations columnarize on demand and keep
+// the block forever; see ColumnarBlock) — so commits never pay an eager
+// per-column index build for columns no query probes.
 func (db *Database) Snapshot() *Database {
 	out := &Database{frozen: true, schema: db.schema, relations: make(map[string]*Relation, len(db.relations))}
 	for name, r := range db.relations {
-		if !r.frozen {
-			for col := 0; col < r.schema.Arity(); col++ {
-				if !r.HasIndex(col) {
-					r.BuildIndex(col)
-				}
-			}
-		}
 		out.relations[name] = r.Snapshot()
 	}
 	return out

@@ -1,0 +1,107 @@
+// Command citelint runs the repo's invariant analyzer suite
+// (internal/lint) over the given packages — a multichecker in the
+// style of golang.org/x/tools/go/analysis/multichecker, built on the
+// standard library alone.
+//
+// Usage:
+//
+//	go run ./cmd/citelint ./...          # the CI invocation
+//	go run ./cmd/citelint -list          # describe the analyzers
+//	go run ./cmd/citelint -run spanend,walerr ./internal/...
+//
+// Non-test files are analyzed. Exit status: 0 clean, 1 findings,
+// 2 load or type-check failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: citelint [-list] [-run names] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := lint.Analyzers()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fatalf("citelint: unknown analyzer %q (try -list)", name)
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	ld, err := load.NewLoader(".")
+	if err != nil {
+		fatalf("citelint: %v", err)
+	}
+	paths, err := ld.Expand(patterns)
+	if err != nil {
+		fatalf("citelint: %v", err)
+	}
+	if len(paths) == 0 {
+		fatalf("citelint: no packages match %v", patterns)
+	}
+
+	findings := 0
+	for _, path := range paths {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			fatalf("citelint: %v", err)
+		}
+		if len(pkg.Errors) > 0 {
+			for _, e := range pkg.Errors {
+				fmt.Fprintf(os.Stderr, "%v\n", e)
+			}
+			fatalf("citelint: %s does not type-check", path)
+		}
+		for _, a := range suite {
+			pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+			if err := a.Run(pass); err != nil {
+				fatalf("citelint: %s on %s: %v", a.Name, path, err)
+			}
+			for _, d := range pass.Diagnostics() {
+				fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "citelint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -504,6 +504,7 @@ func (b *branch) expr(t storage.Tuple) (citeexpr.Expr, bool) {
 // pruning, its join is partitioned instead. Both strategies produce
 // expressions identical to sequential evaluation.
 func (g *Generator) Cite(q *cq.Query) (*Result, error) {
+	//lint:detach context-free public API: Cite is the no-cancellation convenience wrapper over CiteContext
 	return g.CiteContext(context.Background(), q, Request{})
 }
 
@@ -944,6 +945,7 @@ func (l layeredInstance) Relation(name string) *storage.Relation {
 // materialize evaluates the named view over the generator's head database
 // with singleflight caching; see materializeAt.
 func (g *Generator) materialize(viewName string) (*storage.Relation, error) {
+	//lint:detach context-free convenience: callers needing cancellation use materializeAt directly
 	return g.materializeAt(context.Background(), g.db, 0, viewName)
 }
 

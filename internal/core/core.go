@@ -326,6 +326,7 @@ func (s *System) DefineView(viewSrc string, static format.Record, specs ...Citat
 		for _, c := range v.Citations {
 			e.Cites = append(e.Cites, durable.ViewCite{Query: c.Query.String(), Fields: c.Fields})
 		}
+		//lint:lockscope journaled mutation: the WAL entry and the registry update must commit atomically under the writer lock
 		if _, err := s.wal.Append(e, true); err != nil {
 			return fmt.Errorf("core: journal: %w", err)
 		}
@@ -424,6 +425,7 @@ func (s *System) CommitDelta(message string) (fixity.VersionInfo, int64, []strin
 			Tuples:    int64(info.Tuples),
 			Digest:    fixity.DatabaseDigest(head),
 		}
+		//lint:lockscope journaled mutation: the commit record and the version store must advance atomically under the writer lock
 		if _, err := s.wal.Append(durable.Entry{Type: durable.EntryCommit, Commit: meta}, true); err != nil {
 			return fixity.VersionInfo{}, s.epoch, nil, fmt.Errorf("core: journal: %w", err)
 		}
@@ -466,6 +468,7 @@ type Citation struct {
 // shared, so any number of citations are generated concurrently. It is
 // CiteContext with a background context and no options.
 func (s *System) Cite(querySrc string) (*Citation, error) {
+	//lint:detach context-free public API: Cite is the no-cancellation wrapper over CiteContext
 	return s.CiteContext(context.Background(), querySrc)
 }
 
@@ -494,6 +497,7 @@ func (s *System) CiteContext(ctx context.Context, querySrc string, opts ...CiteO
 
 // CiteQuery is Cite for an already-parsed query.
 func (s *System) CiteQuery(q *cq.Query) (*Citation, error) {
+	//lint:detach context-free public API: CiteQuery is the no-cancellation wrapper over CiteQueryContext
 	return s.CiteQueryContext(context.Background(), q)
 }
 
@@ -579,6 +583,7 @@ func (s *System) CiteQueryContext(ctx context.Context, q *cq.Query, opts ...Cite
 // starve Commit, and a Commit that lands mid-batch is observed by the
 // remaining queries' fixity pins.
 func (s *System) CiteAll(queries []string) ([]*Citation, error) {
+	//lint:detach context-free public API: CiteAll is the no-cancellation wrapper over CiteAllContext
 	return s.CiteAllContext(context.Background(), queries)
 }
 
@@ -612,6 +617,7 @@ func (s *System) CiteAllContext(ctx context.Context, queries []string, opts ...C
 // batch. This is the entry point network servers use, where one client's
 // malformed query must not fail its neighbors in a batch.
 func (s *System) CiteEach(queries []string) (out []*Citation, errs []error) {
+	//lint:detach context-free public API: CiteEach is the no-cancellation wrapper over CiteEachContext
 	return s.CiteEachContext(context.Background(), queries)
 }
 

@@ -96,13 +96,16 @@ func (s *System) EnableDurability(dir string, opts DurableOptions) error {
 	if durable.Initialized(dir) {
 		return fmt.Errorf("core: %s is already a data directory; recover from it with Open instead", dir)
 	}
+	//lint:lockscope one-time enablement: manifest/checkpoint/log creation must see a quiescent head, so it runs under the writer lock
 	if err := durable.WriteManifest(dir, s.store.Head().Schema()); err != nil {
 		return err
 	}
 	ckpt := s.buildCheckpointLocked(0)
+	//lint:lockscope one-time enablement: the checkpoint snapshots the head the lock is freezing
 	if err := durable.WriteCheckpoint(dir, ckpt); err != nil {
 		return err
 	}
+	//lint:lockscope one-time enablement: the log must open before any mutation can race it into existence
 	wal, err := durable.OpenLog(dir, 0, durable.LogOptions{
 		Fsync:        opts.Fsync,
 		SyncInterval: opts.SyncInterval,
@@ -411,6 +414,7 @@ func (s *System) CloseDurability() error {
 	if s.wal == nil {
 		return nil
 	}
+	//lint:lockscope detach point: closing and nil-ing the journal must be atomic or a racing mutation appends to a closed log
 	err := s.wal.Close()
 	s.wal = nil
 	return err
@@ -468,6 +472,7 @@ func (s *System) mutate(relation string, tuples []storage.Tuple, typ durable.Ent
 		}
 	}
 	if s.wal != nil {
+		//lint:lockscope journaled mutation: the WAL entry and the head apply must commit atomically under the writer lock
 		if _, err := s.wal.Append(durable.Entry{Type: typ, Relation: relation, Tuples: tuples}, false); err != nil {
 			return 0, fmt.Errorf("core: journal: %w", err)
 		}
@@ -515,6 +520,7 @@ func (s *System) SetPolicyNamed(name string) error {
 		return fmt.Errorf("core: system was opened read-only")
 	}
 	if s.wal != nil {
+		//lint:lockscope journaled mutation: the policy record and the in-memory policy must flip atomically under the writer lock
 		if _, err := s.wal.Append(durable.Entry{Type: durable.EntrySetPolicy, Policy: name}, true); err != nil {
 			return fmt.Errorf("core: journal: %w", err)
 		}

@@ -174,6 +174,7 @@ func (l *Log) syncLoop() {
 		select {
 		case <-t.C:
 			l.mu.Lock()
+			//lint:walerr sync failures latch into l.failed and surface on the next Append or Sync
 			l.syncLocked()
 			l.mu.Unlock()
 		case <-l.stopSync:

@@ -39,6 +39,7 @@ func EvalAnnotatedParallel[T any](inst Instance, q *cq.Query, sr semiring.Semiri
 func RunAnnotatedParallel[T any](p *Plan, sr semiring.Semiring[T], annot func(pred string, t storage.Tuple) T, workers int) []Annotated[T] {
 	// context.Background can never be canceled, so the ctx variant takes
 	// its poll-free path and the error is statically nil.
+	//lint:detach context-free public API: the Ctx variant takes its poll-free path under Background
 	out, _ := RunAnnotatedParallelCtx(context.Background(), p, sr, annot, workers)
 	return out
 }

@@ -214,6 +214,7 @@ func (p PinnedCitation) String() string {
 // Execute runs q against the given version and returns the result with a
 // pinned citation.
 func (st *Store) Execute(q *cq.Query, v Version) ([]storage.Tuple, PinnedCitation, error) {
+	//lint:detach context-free public API: Execute is the no-cancellation wrapper over ExecuteContext
 	return st.ExecuteContext(context.Background(), q, v)
 }
 

@@ -1,0 +1,177 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects
+// one type-checked package through a Pass and reports Diagnostics.
+//
+// The repo vendors no third-party modules, so the x/tools framework is
+// unavailable; this package keeps the same shape (Analyzer, Pass,
+// Reportf) so the citelint checkers read like standard go/analysis
+// analyzers and could be ported to the real framework mechanically.
+//
+// Suppression directives. A diagnostic is suppressed by a comment of
+// the form
+//
+//	//lint:<directive> <reason>
+//
+// on the same line as the diagnostic or on the line immediately above
+// it. The reason is mandatory: a bare directive does not suppress,
+// so every exception to an invariant carries its justification in the
+// source. Each Analyzer declares its directive name (defaulting to the
+// analyzer name); e.g. the ctxdetach analyzer honors //lint:detach.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI listings.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Directive is the //lint: suppression word this analyzer honors.
+	// Empty means Name.
+	Directive string
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) directive() string {
+	if a.Directive != "" {
+		return a.Directive
+	}
+	return a.Name
+}
+
+// Diagnostic is one finding, positioned in the package's FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags      []Diagnostic
+	directives map[string]map[int][]string // filename -> line -> directives
+}
+
+// NewPass assembles a pass over a type-checked package.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+}
+
+// Reportf records a diagnostic unless a suppression directive for this
+// analyzer covers pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Suppressed(pos, p.Analyzer.directive()) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings in file/position order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool { return p.diags[i].Pos < p.diags[j].Pos })
+	return p.diags
+}
+
+// Suppressed reports whether a //lint:<directive> <reason> comment on
+// the diagnostic's line or the line above covers pos.
+func (p *Pass) Suppressed(pos token.Pos, directive string) bool {
+	if p.directives == nil {
+		p.directives = collectDirectives(p.Fset, p.Files)
+	}
+	position := p.Fset.Position(pos)
+	lines := p.directives[position.Filename]
+	for _, l := range []int{position.Line, position.Line - 1} {
+		for _, d := range lines[l] {
+			if d == directive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func collectDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				directive, reason, _ := strings.Cut(text, " ")
+				if directive == "" || strings.TrimSpace(reason) == "" {
+					// A bare directive carries no justification and
+					// therefore suppresses nothing.
+					continue
+				}
+				position := fset.Position(c.Pos())
+				if out[position.Filename] == nil {
+					out[position.Filename] = make(map[int][]string)
+				}
+				out[position.Filename][position.Line] = append(out[position.Filename][position.Line], directive)
+			}
+		}
+	}
+	return out
+}
+
+// ObjectOf is a nil-safe Info.ObjectOf.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if id == nil {
+		return nil
+	}
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// TypeOf is a nil-safe Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if e == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// CalleeFunc resolves the *types.Func a call invokes (function or
+// method), or nil for builtins, conversions and indirect calls.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// FuncPath returns the import path of the package declaring fn, or ""
+// for builtins and fn == nil.
+func FuncPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// PathOutcome summarizes walking a statement sequence while tracking a
+// resource (an open span, a held lock) that must be released before
+// control leaves the function.
+type PathOutcome struct {
+	// Released reports whether the fall-through path out of the
+	// sequence has released the resource.
+	Released bool
+	// Terminated reports whether every path through the sequence exits
+	// the function (return, panic, or an endless for-loop).
+	Terminated bool
+	// Leaks are the positions of exits reached while still holding the
+	// resource.
+	Leaks []token.Pos
+}
+
+// CheckReleased walks stmts — typically the tail of the block that
+// acquired the resource — and records every function exit reachable
+// while the resource is unreleased. isRelease classifies a statement
+// as releasing it (e.g. an sp.End() or mu.Unlock() call statement).
+//
+// The walk is a conservative structural approximation, not a full CFG:
+// branches of if/switch/select are explored independently; the
+// sequence after a composite is released only when every arm that can
+// fall through has released; loop bodies are checked but never count
+// toward the fall-through state (the body may run zero times); and
+// break/continue are treated as falling through. Releases inside
+// function literals are invisible here — callers handle defer-based
+// release before invoking this walk.
+func CheckReleased(stmts []ast.Stmt, released bool, isRelease func(ast.Stmt) bool) PathOutcome {
+	out := PathOutcome{Released: released}
+	for _, st := range stmts {
+		if out.Terminated {
+			break // unreachable
+		}
+		out = stepStmt(st, out, isRelease)
+	}
+	return out
+}
+
+func stepStmt(st ast.Stmt, in PathOutcome, isRelease func(ast.Stmt) bool) PathOutcome {
+	out := in
+	switch s := st.(type) {
+	case *ast.ReturnStmt:
+		if !out.Released {
+			out.Leaks = append(out.Leaks, s.Pos())
+		}
+		out.Terminated = true
+	case *ast.ExprStmt:
+		if isRelease(st) {
+			out.Released = true
+		} else if isPanicCall(s.X) {
+			out.Terminated = true
+		}
+	case *ast.BlockStmt:
+		r := CheckReleased(s.List, out.Released, isRelease)
+		out.Leaks = append(out.Leaks, r.Leaks...)
+		out.Released, out.Terminated = r.Released, r.Terminated
+	case *ast.LabeledStmt:
+		out = stepStmt(s.Stmt, out, isRelease)
+	case *ast.IfStmt:
+		arms := []PathOutcome{CheckReleased(s.Body.List, out.Released, isRelease)}
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			arms = append(arms, CheckReleased(e.List, out.Released, isRelease))
+		case ast.Stmt: // else-if chain
+			arms = append(arms, CheckReleased([]ast.Stmt{e}, out.Released, isRelease))
+		default: // no else: the condition-false path falls through as-is
+			arms = append(arms, PathOutcome{Released: out.Released})
+		}
+		out = mergeArms(out, arms, true)
+	case *ast.SwitchStmt:
+		out = mergeArms(out, caseArms(s.Body, out.Released, isRelease), hasDefaultCase(s.Body))
+	case *ast.TypeSwitchStmt:
+		out = mergeArms(out, caseArms(s.Body, out.Released, isRelease), hasDefaultCase(s.Body))
+	case *ast.SelectStmt:
+		// A select blocks until one of its cases runs, so the arm set
+		// is exhaustive.
+		out = mergeArms(out, caseArms(s.Body, out.Released, isRelease), true)
+	case *ast.ForStmt:
+		r := CheckReleased(s.Body.List, out.Released, isRelease)
+		out.Leaks = append(out.Leaks, r.Leaks...)
+		if s.Cond == nil && !hasBreak(s.Body) {
+			out.Terminated = true // for {} without break never falls through
+		}
+	case *ast.RangeStmt:
+		r := CheckReleased(s.Body.List, out.Released, isRelease)
+		out.Leaks = append(out.Leaks, r.Leaks...)
+	}
+	return out
+}
+
+// mergeArms folds the outcomes of a composite statement's arms into
+// the surrounding sequence state. exhaustive reports whether one of
+// the arms necessarily ran (if/else, select, switch with default).
+func mergeArms(in PathOutcome, arms []PathOutcome, exhaustive bool) PathOutcome {
+	out := in
+	allTerminate := exhaustive
+	released := true
+	fallthroughs := 0
+	for _, a := range arms {
+		out.Leaks = append(out.Leaks, a.Leaks...)
+		if a.Terminated {
+			continue
+		}
+		allTerminate = false
+		fallthroughs++
+		released = released && a.Released
+	}
+	if !exhaustive {
+		// The skipped-every-arm path falls through with the incoming state.
+		allTerminate = false
+		fallthroughs++
+		released = released && in.Released
+	}
+	if allTerminate {
+		out.Terminated = true
+		return out
+	}
+	out.Released = fallthroughs > 0 && released
+	return out
+}
+
+func caseArms(body *ast.BlockStmt, released bool, isRelease func(ast.Stmt) bool) []PathOutcome {
+	var arms []PathOutcome
+	for _, cs := range body.List {
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			arms = append(arms, CheckReleased(c.Body, released, isRelease))
+		case *ast.CommClause:
+			arms = append(arms, CheckReleased(c.Body, released, isRelease))
+		}
+	}
+	return arms
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, cs := range body.List {
+		if c, ok := cs.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			// break inside these does not exit the outer loop.
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,62 @@
+// Package ctxdetach forbids context.Background() and context.TODO()
+// in request-path packages. Engine stages receive the request context
+// so cancellation, deadlines and trace spans thread all the way down
+// (DESIGN.md §7, §9); a fresh Background context silently detaches the
+// computation from all three. The handful of deliberate detach points
+// (the server's shared cache-fill computation, the deprecated
+// context-free wrappers) must carry a
+//
+//	//lint:detach <reason>
+//
+// annotation, making each one auditable instead of implicit.
+package ctxdetach
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// RequestPathPackages are the import paths where a detached context
+// must be annotated. Entry points (cmd/*, examples/*) legitimately
+// mint root contexts and are not listed.
+var RequestPathPackages = map[string]bool{
+	"repro/internal/server":   true,
+	"repro/internal/citation": true,
+	"repro/internal/core":     true,
+	"repro/internal/eval":     true,
+	"repro/internal/fixity":   true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "ctxdetach",
+	Directive: "detach",
+	Doc: "forbid context.Background/TODO in request-path packages " +
+		"unless annotated //lint:detach <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !RequestPathPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if analysis.FuncPath(fn) != "context" {
+				return true
+			}
+			if name := fn.Name(); name == "Background" || name == "TODO" {
+				pass.Reportf(call.Pos(),
+					"context.%s detaches this computation from request cancellation and tracing; thread the caller's ctx or annotate the detach point with //lint:detach <reason>",
+					name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package ctxdetach_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxdetach"
+	"repro/internal/lint/linttest"
+)
+
+func TestCtxDetach(t *testing.T) {
+	linttest.Run(t, ctxdetach.Analyzer,
+		"repro/internal/server", // request-path package: violations + annotated twin
+		"repro/cmd/toolmain",    // entry point: Background is fine unannotated
+	)
+}

@@ -1,0 +1,11 @@
+// Clean twin for ctxdetach: entry-point packages mint root contexts
+// legitimately, so nothing here is flagged.
+package main
+
+import "context"
+
+func run() error {
+	ctx := context.Background()
+	<-ctx.Done()
+	return ctx.Err()
+}

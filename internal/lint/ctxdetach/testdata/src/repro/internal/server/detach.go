@@ -1,0 +1,33 @@
+// Corpus for ctxdetach: this file is type-checked under the import
+// path repro/internal/server, one of the request-path packages where
+// a detached context must be annotated.
+package server
+
+import "context"
+
+func handle(ctx context.Context) error {
+	_ = ctx
+	bg := context.Background() // want `context\.Background detaches this computation`
+	_ = bg
+	todo := context.TODO() // want `context\.TODO detaches this computation`
+	_ = todo
+	return nil
+}
+
+func detachedFill(ctx context.Context) context.Context {
+	// The deliberate detach point: the computation outlives the
+	// requesting client, so it must not die with ctx.
+	//lint:detach shared cache fill must survive the requester's deadline
+	comp := context.Background()
+	_ = ctx
+	return comp
+}
+
+func inlineAnnotated() context.Context {
+	return context.Background() //lint:detach deprecated context-free wrapper
+}
+
+func bareDirectiveDoesNotSuppress() context.Context {
+	//lint:detach
+	return context.Background() // want `context\.Background detaches this computation`
+}

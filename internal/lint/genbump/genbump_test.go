@@ -1,0 +1,12 @@
+package genbump_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/genbump"
+	"repro/internal/lint/linttest"
+)
+
+func TestGenBump(t *testing.T) {
+	linttest.Run(t, genbump.Analyzer, "storagetest")
+}

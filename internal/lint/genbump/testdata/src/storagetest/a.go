@@ -1,0 +1,85 @@
+// Corpus for genbump: a miniature of storage.Relation — the analyzer
+// keys on "type with a bumpStats method", so this corpus exercises the
+// same contract the real storage package is held to.
+package storagetest
+
+import "sync/atomic"
+
+type Relation struct {
+	tuples   []string
+	present  map[string]int
+	indexes  map[int][]int
+	statsGen atomic.Uint64
+}
+
+func (r *Relation) bumpStats() {
+	r.statsGen.Add(1)
+}
+
+func (r *Relation) BadInsert(t string) {
+	r.tuples = append(r.tuples, t) // want `method BadInsert writes relation tuple state without calling bumpStats`
+	r.present[t] = len(r.tuples)   // want `method BadInsert writes relation tuple state without calling bumpStats`
+}
+
+func (r *Relation) BadDelete(t string) {
+	delete(r.present, t) // want `method BadDelete writes relation tuple state without calling bumpStats`
+}
+
+func (r *Relation) BadHole(i int) {
+	r.tuples[i] = "" // want `method BadHole writes relation tuple state without calling bumpStats`
+}
+
+func (r *Relation) GoodInsert(t string) {
+	r.tuples = append(r.tuples, t)
+	r.present[t] = len(r.tuples)
+	r.bumpStats()
+}
+
+func (r *Relation) GoodConditional(ts []string) {
+	added := 0
+	for _, t := range ts {
+		if _, ok := r.present[t]; ok {
+			continue
+		}
+		r.tuples = append(r.tuples, t)
+		r.present[t] = len(r.tuples)
+		added++
+	}
+	if added > 0 {
+		r.bumpStats()
+	}
+}
+
+func (r *Relation) compact() {
+	//lint:nobump content-preserving reorganization: the tuple set is unchanged
+	r.tuples = append([]string(nil), r.tuples...)
+}
+
+// rebuild rewrites tuple state on several lines; the method-level
+// directive (last doc line) blesses all of them at once.
+//
+//lint:nobump content-preserving rewrite: same tuples, fresh backing storage
+func (r *Relation) rebuild() {
+	live := append([]string(nil), r.tuples...)
+	r.tuples = live
+	r.present = make(map[string]int, len(live))
+	for i, t := range live {
+		r.present[t] = i
+	}
+}
+
+// Index builds touch indexes, not tuple state: no bump required.
+func (r *Relation) buildIndex(col int) {
+	r.indexes[col] = append(r.indexes[col], len(r.tuples))
+}
+
+// Writes to a relation under construction (not the receiver) are the
+// caller's problem; the fresh value has generation zero and no caches.
+func (r *Relation) Clone() *Relation {
+	nr := &Relation{present: make(map[string]int)}
+	nr.tuples = append(nr.tuples, r.tuples...)
+	for k, v := range r.present {
+		nr.present[k] = v
+	}
+	return nr
+}

@@ -1,0 +1,29 @@
+// Package lint assembles the citelint analyzer suite: each analyzer
+// mechanically enforces one of the repo's prose invariants from
+// DESIGN.md (see §11 "Enforced invariants" for the rule-to-section
+// map). cmd/citelint runs the suite over ./... as a required CI step.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/ctxdetach"
+	"repro/internal/lint/genbump"
+	"repro/internal/lint/lockscope"
+	"repro/internal/lint/lostcancel"
+	"repro/internal/lint/nilness"
+	"repro/internal/lint/spanend"
+	"repro/internal/lint/walerr"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxdetach.Analyzer,
+		genbump.Analyzer,
+		lockscope.Analyzer,
+		lostcancel.Analyzer,
+		nilness.Analyzer,
+		spanend.Analyzer,
+		walerr.Analyzer,
+	}
+}

@@ -1,0 +1,186 @@
+// Package linttest runs citelint analyzers over testdata corpora, in
+// the style of golang.org/x/tools/go/analysis/analysistest: corpus
+// files live under <analyzer dir>/testdata/src/<importpath>/ and mark
+// expected findings with trailing comments of the form
+//
+//	code() // want "regexp"
+//
+// A line may carry several want strings (each must match a distinct
+// diagnostic on that line), and both interpreted and backquoted Go
+// string literals are accepted. Every diagnostic must be wanted and
+// every want must be matched, so each corpus proves both directions:
+// the violation is flagged and the clean twin stays silent.
+package linttest
+
+import (
+	"go/scanner"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Run analyzes each corpus package (an import path under
+// testdata/src, relative to the test's working directory) and checks
+// its diagnostics against the // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, corpusPaths ...string) {
+	t.Helper()
+	ld, err := load.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range corpusPaths {
+		runOne(t, ld, a, path)
+	}
+}
+
+func runOne(t *testing.T, ld *load.Loader, a *analysis.Analyzer, path string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("%s: no corpus files in %s", a.Name, dir)
+	}
+	files, err := ld.ParseFiles(dir, names)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	pkg := ld.Check(path, files)
+	for _, terr := range pkg.Errors {
+		t.Errorf("%s: corpus %s: type error: %v", a.Name, path, terr)
+	}
+	if t.Failed() {
+		return
+	}
+	pass := analysis.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	wants := collectWants(t, dir, names)
+	for _, d := range pass.Diagnostics() {
+		pos := pkg.Fset.Position(d.Pos)
+		key := lineKey{filepath.Base(pos.Filename), pos.Line}
+		if i := matchWant(wants[key], d.Message); i >= 0 {
+			wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+		} else {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, key.file, key.line, d.Message)
+		}
+	}
+	for key, rest := range wants {
+		for _, w := range rest {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, key.file, key.line, w.re)
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re *regexp.Regexp
+}
+
+func matchWant(ws []want, msg string) int {
+	for i, w := range ws {
+		if w.re.MatchString(msg) {
+			return i
+		}
+	}
+	return -1
+}
+
+// collectWants scans each corpus file's comments for // want clauses.
+func collectWants(t *testing.T, dir string, names []string) map[lineKey][]want {
+	t.Helper()
+	out := make(map[lineKey][]want)
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fset := token.NewFileSet()
+		tf := fset.AddFile(name, -1, len(src))
+		var sc scanner.Scanner
+		sc.Init(tf, src, nil, scanner.ScanComments)
+		for {
+			pos, tok, lit := sc.Scan()
+			if tok == token.EOF {
+				break
+			}
+			if tok != token.COMMENT {
+				continue
+			}
+			text, ok := strings.CutPrefix(lit, "//")
+			if !ok {
+				continue
+			}
+			text, ok = strings.CutPrefix(strings.TrimSpace(text), "want ")
+			if !ok {
+				continue
+			}
+			line := fset.Position(pos).Line
+			lits := splitWantLiterals(text)
+			if len(lits) == 0 {
+				t.Fatalf("%s:%d: want clause has no string literals: %s", name, line, text)
+			}
+			for _, raw := range lits {
+				unq, err := strconv.Unquote(raw)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want literal %s: %v", name, line, raw, err)
+				}
+				re, err := regexp.Compile(unq)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, line, unq, err)
+				}
+				key := lineKey{name, line}
+				out[key] = append(out[key], want{re})
+			}
+		}
+	}
+	return out
+}
+
+// splitWantLiterals splits `"a" "b"` or "`a` `b`" into raw Go string
+// literals.
+func splitWantLiterals(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			break
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == quote && (quote == '`' || s[i-1] != '\\') {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			break
+		}
+		out = append(out, s[:end+1])
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+// Package load type-checks this module's packages using only the
+// standard library: module packages are parsed from source and
+// resolved against the module path in go.mod, while standard-library
+// imports are type-checked from GOROOT source via go/importer's
+// "source" compiler. No export data, network access, or third-party
+// loader is involved, so the citelint suite runs in any environment
+// that can build the repo.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked module package.
+type Package struct {
+	Path  string // import path, e.g. repro/internal/storage
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File // constraint-filtered non-test files, with comments
+	Types *types.Package
+	Info  *types.Info
+	// Errors holds the type-checker's complaints. A package with
+	// errors still carries best-effort Files/Info so callers can
+	// report the problem precisely.
+	Errors []error
+}
+
+// Loader resolves and memoizes package loads for one module.
+type Loader struct {
+	Fset    *token.FileSet
+	ModDir  string // module root (directory containing go.mod)
+	ModPath string // module path from go.mod
+
+	ctxt    build.Context
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader locates the enclosing module from dir (walking up to the
+// directory containing go.mod) and prepares a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ctxt := build.Default
+	// The source importer type-checks the pure-Go corners of the
+	// standard library; disabling cgo keeps it independent of a C
+	// toolchain (net, os/user fall back to their Go implementations).
+	ctxt.CgoEnabled = false
+	build.Default.CgoEnabled = false
+	return &Loader{
+		Fset:    fset,
+		ModDir:  modDir,
+		ModPath: modPath,
+		ctxt:    ctxt,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module directive", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+	}
+}
+
+// Expand resolves command-line package patterns ("./...", "./cmd/x",
+// import paths) into the sorted set of module import paths. Directories
+// named testdata, hidden directories, and _-prefixed directories are
+// skipped, matching the go tool.
+func (ld *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		dir := pat
+		if strings.HasPrefix(pat, ld.ModPath) {
+			rel := strings.TrimPrefix(strings.TrimPrefix(pat, ld.ModPath), "/")
+			dir = filepath.Join(ld.ModDir, rel)
+		} else if !filepath.IsAbs(pat) {
+			dir = filepath.Clean(pat)
+		}
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			if path, ok := ld.dirImportPath(abs); ok && ld.hasGoFiles(abs) {
+				add(path)
+			} else if !ok {
+				return nil, fmt.Errorf("load: %s is outside module %s", pat, ld.ModPath)
+			}
+			continue
+		}
+		err = filepath.WalkDir(abs, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != abs && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if path, ok := ld.dirImportPath(p); ok && ld.hasGoFiles(p) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (ld *Loader) dirImportPath(dir string) (string, bool) {
+	rel, err := filepath.Rel(ld.ModDir, dir)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", false
+	}
+	if rel == "." {
+		return ld.ModPath, true
+	}
+	return ld.ModPath + "/" + filepath.ToSlash(rel), true
+}
+
+func (ld *Loader) hasGoFiles(dir string) bool {
+	bp, err := ld.ctxt.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}
+
+// Load parses and type-checks the module package at the given import
+// path (memoized).
+func (ld *Loader) Load(path string) (*Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, ld.ModPath), "/")
+	dir := filepath.Join(ld.ModDir, filepath.FromSlash(rel))
+	bp, err := ld.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	files, err := ld.ParseFiles(dir, bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg := ld.Check(path, files)
+	pkg.Dir = dir
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// ParseFiles parses the named files in dir with comments retained.
+func (ld *Loader) ParseFiles(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Check type-checks already-parsed files as the package at path,
+// resolving imports through the loader. Type errors are collected on
+// the returned Package rather than aborting, so callers can report
+// them all.
+func (ld *Loader) Check(path string, files []*ast.File) *Package {
+	pkg := &Package{Path: path, Fset: ld.Fset, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	tpkg, _ := conf.Check(path, ld.Fset, files, info)
+	pkg.Types, pkg.Info = tpkg, info
+	return pkg
+}
+
+// Import implements types.Importer: module-internal paths load from
+// the module tree, everything else is standard library resolved from
+// GOROOT source.
+func (ld *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == ld.ModPath || strings.HasPrefix(path, ld.ModPath+"/") {
+		p, err := ld.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Errors) > 0 {
+			return nil, fmt.Errorf("load: %s has type errors: %v", path, p.Errors[0])
+		}
+		return p.Types, nil
+	}
+	return ld.std.Import(path)
+}

@@ -1,0 +1,65 @@
+package load
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadModulePackages(t *testing.T) {
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.ModPath != "repro" {
+		t.Fatalf("module path = %q, want repro", ld.ModPath)
+	}
+	// A leaf package with stdlib-only imports.
+	p, err := ld.Load("repro/internal/value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Errors) > 0 {
+		t.Fatalf("type errors: %v", p.Errors)
+	}
+	if p.Types.Name() != "value" {
+		t.Fatalf("package name = %q", p.Types.Name())
+	}
+	// A package that pulls in net/http through the source importer and
+	// module-internal imports transitively.
+	p, err = ld.Load("repro/internal/server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Errors) > 0 {
+		t.Fatalf("type errors: %v", p.Errors)
+	}
+	if p.Types.Scope().Lookup("Server") == nil {
+		t.Fatal("server.Server not found in type-checked package")
+	}
+}
+
+func TestExpandSkipsTestdata(t *testing.T) {
+	ld, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := ld.Expand([]string{filepath.Join(ld.ModDir, "...")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenRoot, seenLint := false, false
+	for _, p := range paths {
+		if p == "repro" {
+			seenRoot = true
+		}
+		if p == "repro/internal/lint/load" {
+			seenLint = true
+		}
+		if filepath.Base(p) == "testdata" {
+			t.Fatalf("testdata dir leaked into expansion: %s", p)
+		}
+	}
+	if !seenRoot || !seenLint {
+		t.Fatalf("expansion missing expected packages (root=%v lint/load=%v): %v", seenRoot, seenLint, paths)
+	}
+}

@@ -1,0 +1,291 @@
+// Package lockscope enforces the engine's two locking rules
+// (DESIGN.md §5, §8):
+//
+//  1. Pairing — every mu.Lock()/mu.RLock() on a sync.Mutex or
+//     sync.RWMutex field must be released on every path out of the
+//     function: a deferred unlock, or explicit unlocks covering every
+//     return. Helper methods that intentionally hand a held lock to
+//     their caller (storage's rLock/wLock) annotate the acquisition
+//     with //lint:lockscope <reason>.
+//
+//  2. Scope — while a lock is held, the critical section must not
+//     perform WAL/durable I/O, network calls, channel sends, or
+//     time.Sleep. The engine's one deliberate exception — journaled
+//     mutations append to the WAL under the engine writer lock so the
+//     log and the head mutate atomically — is annotated at each site,
+//     which is exactly the point: blocking-under-lock is an auditable
+//     decision, not an accident.
+//
+// The analysis is intraprocedural and structural: it sees direct
+// statements of the locking function only (calls into other functions
+// are not expanded), and skips the bodies of nested function literals,
+// go statements and defers, which do not run inside the section.
+package lockscope
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc: "require all-paths unlock for every mutex acquisition and forbid " +
+		"WAL I/O, network calls and channel sends inside critical sections",
+	Run: run,
+}
+
+// durableIO names the internal/durable functions and methods that hit
+// the disk. Stats/Next and the pure encoders are excluded.
+var durableIO = map[string]bool{
+	"Append":          true,
+	"Sync":            true,
+	"Checkpointed":    true,
+	"Close":           true,
+	"OpenLog":         true,
+	"Replay":          true,
+	"WriteCheckpoint": true,
+	"LoadCheckpoint":  true,
+	"WriteManifest":   true,
+	"ReadManifest":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type lockSite struct {
+	stmt *ast.ExprStmt
+	call *ast.CallExpr
+	// recv is the printed receiver expression, e.g. "s.mu"; the unlock
+	// must match it textually (the idiomatic pairing in this codebase).
+	recv  string
+	rlock bool // RLock/RUnlock pairing rather than Lock/Unlock
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	walkLists(body, func(list []ast.Stmt) {
+		for i, st := range list {
+			site := lockStmt(pass, st)
+			if site == nil {
+				continue
+			}
+			deferred := hasDeferredUnlock(pass, body, site)
+			var section []ast.Stmt
+			if deferred {
+				section = list[i+1:]
+			} else {
+				out := analysis.CheckReleased(list[i+1:], false, func(s ast.Stmt) bool {
+					return unlockStmt(pass, s, site)
+				})
+				for _, leak := range out.Leaks {
+					if !pass.Suppressed(site.call.Pos(), "lockscope") {
+						pass.Reportf(leak, "return while %s is still held (locked at line %d)",
+							site.recv, pass.Fset.Position(site.call.Pos()).Line)
+					}
+				}
+				if !out.Released && !out.Terminated {
+					pass.Reportf(site.call.Pos(),
+						"%s.%s() has no matching %s on every path: defer the unlock or annotate a lock-handoff helper with //lint:lockscope <reason>",
+						site.recv, lockName(site), unlockName(site))
+				}
+				section = sliceUntilUnlock(pass, list[i+1:], site)
+			}
+			checkSection(pass, section, site)
+		}
+	})
+}
+
+func lockName(s *lockSite) string {
+	if s.rlock {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func unlockName(s *lockSite) string {
+	if s.rlock {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// walkLists visits every statement list in the body, skipping nested
+// function literals (they are separate functions with their own walk).
+func walkLists(body *ast.BlockStmt, fn func([]ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			fn(n.List)
+		case *ast.CaseClause:
+			fn(n.Body)
+		case *ast.CommClause:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// lockStmt recognizes an ExprStmt of the form <expr>.Lock() or
+// <expr>.RLock() where <expr> has type sync.Mutex or sync.RWMutex
+// (possibly through a pointer).
+func lockStmt(pass *analysis.Pass, st ast.Stmt) *lockSite {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+		return nil
+	}
+	if !isSyncMutex(pass.TypeOf(sel.X)) {
+		return nil
+	}
+	return &lockSite{
+		stmt:  es,
+		call:  call,
+		recv:  types.ExprString(sel.X),
+		rlock: sel.Sel.Name == "RLock",
+	}
+}
+
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// unlockStmt recognizes the matching unlock for site as a standalone
+// statement.
+func unlockStmt(pass *analysis.Pass, st ast.Stmt, site *lockSite) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	return ok && isUnlockCall(call, site)
+}
+
+func isUnlockCall(call *ast.CallExpr, site *lockSite) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != unlockName(site) {
+		return false
+	}
+	return types.ExprString(sel.X) == site.recv
+}
+
+// hasDeferredUnlock scans the whole function for `defer recv.Unlock()`
+// (or a deferred closure containing it).
+func hasDeferredUnlock(pass *analysis.Pass, body *ast.BlockStmt, site *lockSite) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		if isUnlockCall(d.Call, site) {
+			found = true
+			return false
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok && isUnlockCall(c, site) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// sliceUntilUnlock returns the statements before the first top-level
+// matching unlock.
+func sliceUntilUnlock(pass *analysis.Pass, list []ast.Stmt, site *lockSite) []ast.Stmt {
+	for i, st := range list {
+		if unlockStmt(pass, st, site) {
+			return list[:i]
+		}
+	}
+	return list
+}
+
+// checkSection flags blocking operations in the statements executed
+// while the lock is held.
+func checkSection(pass *analysis.Pass, section []ast.Stmt, site *lockSite) {
+	for _, st := range section {
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+				return false // does not run inside the section
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send while %s is held: a slow receiver stalls every waiter on the lock", site.recv)
+			case *ast.CallExpr:
+				reportBlockingCall(pass, n, site)
+			}
+			return true
+		})
+	}
+}
+
+func reportBlockingCall(pass *analysis.Pass, call *ast.CallExpr, site *lockSite) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return
+	}
+	path := analysis.FuncPath(fn)
+	switch {
+	case strings.HasSuffix(path, "internal/durable") && durableIO[fn.Name()]:
+		pass.Reportf(call.Pos(),
+			"durable I/O (%s.%s) while %s is held: disk latency serializes every waiter — journal outside the lock or annotate the atomic-commit site with //lint:lockscope <reason>",
+			shortPath(path), fn.Name(), site.recv)
+	case path == "net/http":
+		pass.Reportf(call.Pos(), "net/http call while %s is held", site.recv)
+	case path == "time" && fn.Name() == "Sleep":
+		pass.Reportf(call.Pos(), "time.Sleep while %s is held", site.recv)
+	}
+}
+
+func shortPath(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

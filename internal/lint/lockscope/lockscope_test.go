@@ -1,0 +1,12 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockscope"
+)
+
+func TestLockScope(t *testing.T) {
+	linttest.Run(t, lockscope.Analyzer, "lockscopetest")
+}

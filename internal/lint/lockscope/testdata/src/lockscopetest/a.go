@@ -1,0 +1,105 @@
+// Corpus for lockscope: all-paths unlock pairing and no blocking
+// operations inside critical sections.
+package lockscopetest
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/durable"
+)
+
+type engine struct {
+	mu    sync.RWMutex
+	state int
+	log   *durable.Log
+	out   chan int
+}
+
+func (e *engine) noUnlock() {
+	e.mu.Lock() // want `e\.mu\.Lock\(\) has no matching Unlock on every path`
+	e.state++
+}
+
+func (e *engine) earlyReturnWhileHeld(skip bool) int {
+	e.mu.Lock()
+	if skip {
+		return 0 // want `return while e\.mu is still held`
+	}
+	v := e.state
+	e.mu.Unlock()
+	return v
+}
+
+func (e *engine) sendUnderLock(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.out <- v // want `channel send while e\.mu is held`
+}
+
+func (e *engine) walUnderLock(entry durable.Entry) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, err := e.log.Append(entry, true) // want `durable I/O \(durable\.Append\) while e\.mu is held`
+	return err
+}
+
+func (e *engine) annotatedWalUnderLock(entry durable.Entry) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//lint:lockscope journaled mutation: the WAL and the head must move atomically
+	_, err := e.log.Append(entry, true)
+	return err
+}
+
+func (e *engine) sleepUnderLock() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while e\.mu is held`
+}
+
+// lockHandoff intentionally returns with the lock held; the caller
+// pairs it with unlockHandoff.
+func (e *engine) lockHandoff() {
+	//lint:lockscope lock helper: caller pairs with unlockHandoff
+	e.mu.Lock()
+}
+
+func (e *engine) unlockHandoff() {
+	e.mu.Unlock()
+}
+
+func (e *engine) explicitUnlockBranches(fast bool) int {
+	e.mu.RLock()
+	if fast {
+		v := e.state
+		e.mu.RUnlock()
+		return v
+	}
+	v := e.state * 2
+	e.mu.RUnlock()
+	return v
+}
+
+func (e *engine) deferredReader() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.state
+}
+
+// Channel sends after the explicit unlock are outside the section.
+func (e *engine) sendAfterUnlock(v int) {
+	e.mu.Lock()
+	e.state = v
+	e.mu.Unlock()
+	e.out <- v
+}
+
+// A deferred closure runs after the function body; with the unlock
+// also deferred this is conservative territory the analyzer skips.
+func (e *engine) deferredWork(v int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	defer func() { e.state = v }()
+	e.state++
+}

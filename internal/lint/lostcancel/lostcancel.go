@@ -1,0 +1,108 @@
+// Package lostcancel is the citelint port of the vet-family lostcancel
+// check: the CancelFunc returned by context.WithCancel, WithTimeout or
+// WithDeadline must not be dropped. A discarded cancel leaks the
+// context's timer and goroutine until the parent dies — in a server
+// that detaches long-lived computations, that is an unbounded leak.
+// The analyzer flags a cancel assigned to the blank identifier and a
+// cancel variable that is never mentioned again (not called, deferred,
+// or passed along).
+package lostcancel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lostcancel",
+	Doc:  "forbid discarding the CancelFunc of context.WithCancel/WithTimeout/WithDeadline",
+	Run:  run,
+}
+
+var cancelReturning = map[string]bool{
+	"WithCancel":      true,
+	"WithTimeout":     true,
+	"WithDeadline":    true,
+	"WithCancelCause": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if analysis.FuncPath(fn) != "context" || !cancelReturning[fn.Name()] {
+			return true
+		}
+		id, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(as.Pos(), "the cancel function returned by context.%s is discarded: the context leaks until its parent is canceled", fn.Name())
+			return true
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil || !cancelUsedElsewhere(pass, body, id, obj) {
+			pass.Reportf(as.Pos(), "the cancel function %s is never used: call or defer it on every path", id.Name)
+		}
+		return true
+	})
+}
+
+// cancelUsedElsewhere reports whether obj is referenced anywhere in
+// the function other than its defining identifier. Discarding it with
+// `_ = cancel` satisfies the compiler but not this check — the
+// context still leaks.
+func cancelUsedElsewhere(pass *analysis.Pass, body *ast.BlockStmt, def *ast.Ident, obj types.Object) bool {
+	discards := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || lid.Name != "_" {
+				continue
+			}
+			if rid, ok := ast.Unparen(as.Rhs[i]).(*ast.Ident); ok {
+				discards[rid] = true
+			}
+		}
+		return true
+	})
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || discards[id] {
+			return true
+		}
+		if pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

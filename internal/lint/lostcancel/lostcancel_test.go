@@ -1,0 +1,12 @@
+package lostcancel_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lostcancel"
+)
+
+func TestLostCancel(t *testing.T) {
+	linttest.Run(t, lostcancel.Analyzer, "lostcanceltest")
+}

@@ -1,0 +1,31 @@
+// Corpus for lostcancel: the CancelFunc from context.With* must be
+// kept and used.
+package lostcanceltest
+
+import (
+	"context"
+	"time"
+)
+
+func blanked(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want `cancel function returned by context\.WithCancel is discarded`
+	return ctx
+}
+
+func unused(parent context.Context) context.Context {
+	ctx, cancel := context.WithTimeout(parent, time.Second) // want `cancel function cancel is never used`
+	_ = cancel                                              // discarding satisfies the compiler, not the check
+	return ctx
+}
+
+func deferred(parent context.Context) {
+	ctx, cancel := context.WithDeadline(parent, time.Now())
+	defer cancel()
+	<-ctx.Done()
+}
+
+func passedAlong(parent context.Context, keep func(context.CancelFunc)) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	keep(cancel)
+	return ctx
+}

@@ -1,0 +1,166 @@
+// Package nilness is the citelint port of the vet-family nilness
+// check, scoped to its highest-signal pattern: dereferencing a
+// variable inside the very branch whose condition proved it nil.
+//
+//	if x == nil { ... x.Field ... }   // flagged
+//	if x != nil { ... } else { x.M() } // flagged
+//
+// The analyzer is deliberately conservative — x must be a plain
+// variable, and any reassignment of x inside the branch before the
+// use ends the analysis — so every report is a guaranteed panic on
+// the path shown, not a may-alias guess.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "flag dereferences of a variable inside the branch that established it is nil",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj, eq := nilComparison(pass, ifs.Cond)
+			if obj == nil {
+				return true
+			}
+			// x == nil guards the then-branch; x != nil means the
+			// else-branch (if any) holds x nil.
+			var nilBranch *ast.BlockStmt
+			if eq {
+				nilBranch = ifs.Body
+			} else if b, ok := ifs.Else.(*ast.BlockStmt); ok {
+				nilBranch = b
+			}
+			if nilBranch == nil {
+				return true
+			}
+			reportNilDerefs(pass, nilBranch, obj)
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparison recognizes `x == nil` / `x != nil` (either operand
+// order) over a plain variable and reports which operator was used.
+func nilComparison(pass *analysis.Pass, cond ast.Expr) (obj types.Object, eq bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNil(pass, y) {
+		// x <op> nil
+	} else if isNil(pass, x) {
+		x = y
+	} else {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := pass.ObjectOf(id).(*types.Var)
+	if !ok {
+		return nil, false
+	}
+	return v, bin.Op == token.EQL
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilConst := pass.ObjectOf(id).(*types.Nil)
+	return isNilConst
+}
+
+// reportNilDerefs walks the branch in source order, flagging
+// dereferences of obj and stopping at the first reassignment.
+func reportNilDerefs(pass *analysis.Pass, branch *ast.BlockStmt, obj types.Object) {
+	reassigned := false
+	ast.Inspect(branch, func(n ast.Node) bool {
+		if reassigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					reassigned = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				// &x escapes: anything may overwrite it.
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					reassigned = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if usesObj(pass, n.X, obj) && derefSelector(pass, n) {
+				pass.Reportf(n.Pos(), "%s is nil on this branch: selecting %s panics", obj.Name(), n.Sel.Name)
+			}
+		case *ast.StarExpr:
+			if usesObj(pass, n.X, obj) {
+				pass.Reportf(n.Pos(), "%s is nil on this branch: dereference panics", obj.Name())
+			}
+		case *ast.IndexExpr:
+			if usesObj(pass, n.X, obj) && !indexableWhenNil(pass.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), "%s is nil on this branch: indexing panics", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+func usesObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.ObjectOf(id) == obj
+}
+
+// derefSelector reports whether selecting through e panics when the
+// receiver is nil: field access through a nil pointer always does;
+// method calls panic unless the method has a pointer receiver that
+// tolerates nil — calling any method on a nil *interface* value or
+// through a nil interface panics, and we cannot prove a pointer
+// method nil-safe, so only interface method calls and field selections
+// are flagged.
+func derefSelector(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil {
+		return false // qualified identifier, not a selection
+	}
+	if s.Kind() == types.FieldVal {
+		return true
+	}
+	// Method value/call: panics for sure when the receiver is a nil
+	// interface; a nil *T receiver may be a valid nil-tolerant method.
+	_, isInterface := s.Recv().Underlying().(*types.Interface)
+	return isInterface
+}
+
+func indexableWhenNil(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return true // reading a nil map is defined
+	}
+	return false
+}

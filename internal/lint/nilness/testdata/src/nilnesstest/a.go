@@ -1,0 +1,59 @@
+// Corpus for nilness: dereferencing a variable inside the branch that
+// proved it nil.
+package nilnesstest
+
+type node struct {
+	next *node
+	name string
+}
+
+func derefInNilBranch(n *node) string {
+	if n == nil {
+		return n.name // want `n is nil on this branch: selecting name panics`
+	}
+	return n.name
+}
+
+func derefInElse(n *node) string {
+	if n != nil {
+		return n.name
+	} else {
+		return n.next.name // want `n is nil on this branch: selecting next panics`
+	}
+}
+
+func starDeref(p *int) int {
+	if nil == p {
+		return *p // want `p is nil on this branch: dereference panics`
+	}
+	return *p
+}
+
+func sliceIndex(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `xs is nil on this branch: indexing panics`
+	}
+	return xs[0]
+}
+
+func reassignedFirst(n *node) string {
+	if n == nil {
+		n = &node{name: "fresh"}
+		return n.name // clean: n was reassigned before the use
+	}
+	return n.name
+}
+
+func nilMapReadIsDefined(m map[string]int) int {
+	if m == nil {
+		return m["missing"] // clean: reading a nil map yields the zero value
+	}
+	return m["present"]
+}
+
+func guardThenUse(n *node) string {
+	if n == nil {
+		return ""
+	}
+	return n.name // clean: the nil case returned already
+}

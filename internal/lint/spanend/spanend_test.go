@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	linttest.Run(t, spanend.Analyzer, "spanendtest")
+}

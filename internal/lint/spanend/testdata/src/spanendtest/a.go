@@ -1,0 +1,89 @@
+// Corpus for spanend: every span from trace.StartSpan must reach
+// End() on all paths out of the opening function. The corpus imports
+// the real repro/internal/trace so the check stays pinned to the
+// actual tracing API.
+package spanendtest
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/trace"
+)
+
+var errBoom = errors.New("boom")
+
+func leakOnErrorPath(ctx context.Context, fail bool) error {
+	_, sp := trace.StartSpan(ctx, "stage")
+	if fail {
+		return errBoom // want `return without ending span started at line`
+	}
+	sp.End()
+	return nil
+}
+
+func discarded(ctx context.Context) {
+	_, _ = trace.StartSpan(ctx, "stage") // want `span from trace\.StartSpan is discarded`
+}
+
+func fallsOffEnd(ctx context.Context, n int) {
+	_, sp := trace.StartSpan(ctx, "stage") // want `span sp is not ended on the fall-through path`
+	if n > 0 {
+		sp.End()
+	}
+}
+
+func deferredEnd(ctx context.Context, fail bool) error {
+	_, sp := trace.StartSpan(ctx, "stage")
+	defer sp.End()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+func deferredClosureEnd(ctx context.Context, fail bool) error {
+	_, sp := trace.StartSpan(ctx, "stage")
+	defer func() {
+		sp.Add("done", 1)
+		sp.End()
+	}()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+func explicitAllPaths(ctx context.Context, fail bool) error {
+	_, sp := trace.StartSpan(ctx, "stage")
+	if fail {
+		sp.Set("failed", true)
+		sp.End()
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+func selectArms(ctx context.Context, ready chan struct{}) error {
+	_, sp := trace.StartSpan(ctx, "wait")
+	select {
+	case <-ready:
+		sp.End()
+	case <-ctx.Done():
+		sp.Set("rejected", true)
+		sp.End()
+		return ctx.Err()
+	}
+	return nil
+}
+
+func escapesToCallee(ctx context.Context, keep func(*trace.Span)) {
+	_, sp := trace.StartSpan(ctx, "handoff")
+	keep(sp) // ownership transferred: the callee ends it
+}
+
+func escapesByReturn(ctx context.Context) *trace.Span {
+	_, sp := trace.StartSpan(ctx, "handoff")
+	return sp
+}

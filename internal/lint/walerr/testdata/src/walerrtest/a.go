@@ -1,0 +1,39 @@
+// Corpus for walerr: durable-layer errors must not be discarded. The
+// corpus calls the real repro/internal/durable API so the check stays
+// pinned to the actual WAL surface.
+package walerrtest
+
+import "repro/internal/durable"
+
+func discards(l *durable.Log, e durable.Entry) {
+	l.Sync()                    // want `result of durable\.Sync is discarded`
+	l.Append(e, true)           // want `result of durable\.Append is discarded`
+	_ = l.Sync()                // want `error of durable\.Sync assigned to _`
+	lsn, _ := l.Append(e, true) // want `error of durable\.Append assigned to _`
+	_ = lsn
+	defer l.Close() // want `deferred durable\.Close discards its error`
+	go l.Sync()     // want `go statement discards the error of durable\.Sync`
+}
+
+func checked(l *durable.Log, e durable.Entry) error {
+	if _, err := l.Append(e, true); err != nil {
+		return err
+	}
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := l.Close(); err != nil {
+			panic(err)
+		}
+	}()
+	// Pure accessors without an error result are not journaling calls.
+	_ = l.Next()
+	_ = l.Stats()
+	return nil
+}
+
+func annotated(l *durable.Log) {
+	//lint:walerr best-effort directory sync; replay tolerates a torn tail here
+	_ = l.Sync()
+}

@@ -1,0 +1,112 @@
+// Package walerr forbids discarding errors from the durable layer.
+// Every append, fsync, checkpoint or close in internal/durable can
+// report the one condition that matters most for the fixity guarantee
+// — bytes that did not reach stable storage (DESIGN.md §8). A
+// swallowed error there lets the in-memory state advance past what
+// recovery can reproduce, which bricks the directory on the next
+// replay. The analyzer flags any call to a durable function whose
+// error result is dropped: a bare expression statement, an error
+// position assigned to _, or a defer/go statement (whose results are
+// always discarded). Deliberate best-effort sites annotate with
+// //lint:walerr <reason>.
+package walerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "walerr",
+	Doc: "forbid discarding errors returned by internal/durable " +
+		"append/fsync/checkpoint calls",
+	Run: run,
+}
+
+// durablePath matches the repo's durable package (and a corpus twin
+// mounted at the same suffix).
+func durablePath(path string) bool {
+	return path == "repro/internal/durable" || strings.HasSuffix(path, "internal/durable")
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					if fn := durableErrCall(pass, call); fn != nil {
+						pass.Reportf(call.Pos(), "result of durable.%s is discarded: a dropped WAL error hides data loss from recovery", fn.Name())
+					}
+				}
+			case *ast.DeferStmt:
+				if fn := durableErrCall(pass, n.Call); fn != nil {
+					pass.Reportf(n.Pos(), "deferred durable.%s discards its error: check it in a deferred closure instead", fn.Name())
+				}
+			case *ast.GoStmt:
+				if fn := durableErrCall(pass, n.Call); fn != nil {
+					pass.Reportf(n.Pos(), "go statement discards the error of durable.%s", fn.Name())
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// durableErrCall returns the called durable function if the call has
+// an error among its results.
+func durableErrCall(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || !durablePath(analysis.FuncPath(fn)) {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return fn
+		}
+	}
+	return nil
+}
+
+// checkAssign flags error results assigned to the blank identifier,
+// e.g. lsn, _ := log.Append(...) or _ = log.Sync().
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := durableErrCall(pass, call)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	results := sig.Results()
+	if results.Len() != len(as.Lhs) {
+		return // e.g. single-value context; let the type checker own it
+	}
+	for i := 0; i < results.Len(); i++ {
+		if !isErrorType(results.At(i).Type()) {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(as.Pos(), "error of durable.%s assigned to _: a dropped WAL error hides data loss from recovery", fn.Name())
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,12 @@
+package walerr_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/walerr"
+)
+
+func TestWalErr(t *testing.T) {
+	linttest.Run(t, walerr.Analyzer, "walerrtest")
+}

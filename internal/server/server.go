@@ -613,6 +613,7 @@ func (s *Server) citeBatch(ctx context.Context, queries []string, version fixity
 			// the engine's stage spans land in the tree of the request
 			// that owned the miss (coalesced requests legitimately show
 			// only the cache span).
+			//lint:detach coalesced computation outlives the requesting client; it gets its own deadline below
 			compCtx := trace.ContextWithSpan(context.Background(), trace.SpanFromContext(ctx))
 			if s.opts.ComputeTimeout > 0 {
 				var cancel context.CancelFunc

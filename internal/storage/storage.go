@@ -149,6 +149,7 @@ func (r *Relation) Frozen() bool { return r.frozen }
 // rUnlock.
 func (r *Relation) rLock() {
 	if !r.frozen {
+		//lint:lockscope lock-handoff helper: callers pair rLock with rUnlock
 		r.mu.RLock()
 	}
 }
@@ -166,6 +167,7 @@ func (r *Relation) wLock() {
 	if r.frozen {
 		panic(fmt.Sprintf("storage: relation %s: write to frozen snapshot", r.schema.Name))
 	}
+	//lint:lockscope lock-handoff helper: callers pair wLock with r.mu.Unlock
 	r.mu.Lock()
 	r.detach()
 }
@@ -175,6 +177,8 @@ func (r *Relation) wLock() {
 // the maps are duplicated, the tuples and index posting lists are shared
 // (appending to a posting list only ever writes beyond the snapshot's
 // visible length).
+//
+//lint:nobump content-preserving copy: the tuple set is identical, only the backing storage is privatized
 func (r *Relation) detach() {
 	if !r.shared {
 		return
@@ -405,6 +409,9 @@ func (r *Relation) Compact() {
 	r.compactLocked()
 }
 
+// compactLocked squeezes deletion holes out of the tuple slice.
+//
+//lint:nobump content-preserving rewrite: same live tuples, fresh backing storage; callers bump when the content changed
 func (r *Relation) compactLocked() {
 	live := make([]Tuple, 0, len(r.present))
 	for _, t := range r.tuples {

@@ -17,6 +17,7 @@
 //	           [-fsync always|on-commit|interval] [-checkpoint-every 0]
 //	           [-no-commit] [-trace-sample 1.0] [-trace-echo]
 //	           [-trace-ring 64] [-slow-query 0] [-slow-query-log file]
+//	           [-querystats 256]
 //	citeserved -open dir [same serving flags]
 //	citeserved -version
 //
@@ -26,7 +27,10 @@
 // in-memory ring served on GET /debug/traces. Requests slower than
 // -slow-query are logged as JSON lines (to stderr, or -slow-query-log)
 // with their full span tree. -trace-echo lets clients append ?trace=1
-// to /cite and receive the span tree in the response envelope. pprof is
+// to /cite and receive the span tree in the response envelope. Sampled
+// traces also feed the per-query statistics store served on GET
+// /debug/querystats (-querystats bounds the tracked fingerprints;
+// cmd/citestat renders it as a live top-queries table). pprof is
 // always mounted under /debug/pprof/.
 //
 // Durability: -spec with -data-dir initializes the directory from the
@@ -102,6 +106,7 @@ func main() {
 	traceRing := flag.Int("trace-ring", 0, "recent traces retained for GET /debug/traces (0 = default 64, negative = off)")
 	slowQuery := flag.Duration("slow-query", 0, "log requests at or over this duration with their span tree (0 = off)")
 	slowQueryLog := flag.String("slow-query-log", "", "append slow-query JSON lines to this file instead of stderr")
+	queryStats := flag.Int("querystats", 0, "query fingerprints tracked for GET /debug/querystats (0 = default 256, negative = off)")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -204,6 +209,7 @@ func main() {
 		TraceRing:      *traceRing,
 		SlowQuery:      *slowQuery,
 		SlowQueryLog:   slowLogW,
+		QueryStats:     *queryStats,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,201 @@
+// Command citestat renders a citeserved server's per-query statistics
+// (GET /debug/querystats) as a sorted top-queries table — the pg_top of
+// the citation engine. One shot by default; -watch re-polls and shows
+// interval deltas (calls/s, ms/call, hit-rate over the window) so a
+// regression shows up as it happens, not diluted by the since-reset
+// totals.
+//
+// Usage:
+//
+//	citestat [-url http://localhost:8377] [-sort total_time|calls|tuples]
+//	         [-limit 20] [-watch 0]
+//
+// Columns (totals mode): CALLS, CONSTS (distinct constant bindings),
+// TOTAL/MEAN/P95 (milliseconds), TUPLES (examined), HIT% (result-cache
+// hits+coalesced over calls), QUERY (the constant-normalized
+// fingerprint). With -watch, CALLS/s, ms/CALL and HIT% are computed
+// over the polling interval per fingerprint; rows with no calls in the
+// window are dropped. A server-side Reset (generation bump) clears the
+// baseline instead of printing negative deltas.
+//
+// Recipes:
+//
+//	citestat -sort tuples -limit 5          # heaviest scans
+//	citestat -watch 2s                      # live top-queries
+//	curl -s localhost:8377/debug/querystats | jq '.rows[0]'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// row mirrors the server's qstats.RowSnapshot wire form (the fields the
+// table needs; the endpoint serves more).
+type row struct {
+	Fingerprint    string  `json:"fingerprint"`
+	Calls          int64   `json:"calls"`
+	Errors         int64   `json:"errors"`
+	DistinctConsts int64   `json:"distinct_consts"`
+	TotalMS        float64 `json:"total_ms"`
+	MeanMS         float64 `json:"mean_ms"`
+	P95MS          float64 `json:"p95_ms"`
+	TuplesExamined int64   `json:"tuples_examined"`
+	ResultHits     int64   `json:"result_cache_hits"`
+	ResultMisses   int64   `json:"result_cache_misses"`
+	Coalesced      int64   `json:"result_cache_coalesced"`
+}
+
+// report mirrors the /debug/querystats envelope.
+type report struct {
+	K            int       `json:"k"`
+	Tracked      int       `json:"tracked"`
+	Generation   int64     `json:"generation"`
+	Since        time.Time `json:"since"`
+	Evicted      int64     `json:"evicted_total"`
+	Observations int64     `json:"observations_total"`
+	Rows         []row     `json:"rows"`
+}
+
+func fetch(client *http.Client, url string) (*report, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var rep report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return nil, fmt.Errorf("decoding %s: %v", url, err)
+	}
+	return &rep, nil
+}
+
+// hitRate is the fraction of calls that avoided an engine computation
+// (result-cache hits plus coalesced joins on someone else's miss).
+func hitRate(hits, coalesced, calls int64) float64 {
+	if calls == 0 {
+		return 0
+	}
+	return 100 * float64(hits+coalesced) / float64(calls)
+}
+
+// clip bounds the fingerprint column so one long query cannot wrap the
+// whole table.
+func clip(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	return s[:max-1] + "…"
+}
+
+func printTotals(w io.Writer, rep *report) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CALLS\tCONSTS\tTOTALms\tMEANms\tP95ms\tTUPLES\tHIT%\tQUERY")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.1f\t%.2f\t%.2f\t%d\t%.0f\t%s\n",
+			r.Calls, r.DistinctConsts, r.TotalMS, r.MeanMS, r.P95MS,
+			r.TuplesExamined, hitRate(r.ResultHits, r.Coalesced, r.Calls),
+			clip(r.Fingerprint, 80))
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\n%d/%d fingerprints tracked, %d observations, %d evicted (generation %d, since %s)\n",
+		rep.Tracked, rep.K, rep.Observations, rep.Evicted, rep.Generation,
+		rep.Since.Local().Format(time.RFC3339))
+}
+
+// printDeltas renders one watch interval: per-fingerprint differences
+// against the previous poll, normalized per second.
+func printDeltas(w io.Writer, prev, cur *report, dt time.Duration) {
+	base := make(map[string]row, len(prev.Rows))
+	for _, r := range prev.Rows {
+		base[r.Fingerprint] = r
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "CALLS/s\tms/CALL\tTUPLES/s\tHIT%\tQUERY")
+	shown := 0
+	for _, r := range cur.Rows {
+		p := base[r.Fingerprint] // zero row for a fingerprint new this window
+		calls := r.Calls - p.Calls
+		if calls <= 0 {
+			continue
+		}
+		shown++
+		totalMS := r.TotalMS - p.TotalMS
+		tuples := r.TuplesExamined - p.TuplesExamined
+		hits := r.ResultHits - p.ResultHits
+		coal := r.Coalesced - p.Coalesced
+		sec := dt.Seconds()
+		fmt.Fprintf(tw, "%.1f\t%.2f\t%.0f\t%.0f\t%s\n",
+			float64(calls)/sec, totalMS/float64(calls), float64(tuples)/sec,
+			hitRate(hits, coal, calls), clip(r.Fingerprint, 80))
+	}
+	tw.Flush()
+	if shown == 0 {
+		fmt.Fprintln(w, "(no calls this interval)")
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("citestat: ")
+	url := flag.String("url", "http://localhost:8377", "citeserved base URL")
+	sortKey := flag.String("sort", "total_time", "row order: total_time, calls, tuples")
+	limit := flag.Int("limit", 20, "rows shown (0 = all)")
+	watch := flag.Duration("watch", 0, "re-poll at this interval and print per-interval deltas (0 = one shot)")
+	flag.Parse()
+
+	endpoint := strings.TrimSuffix(*url, "/") + "/debug/querystats?sort=" + *sortKey
+	if *limit > 0 && *watch <= 0 {
+		// In watch mode the poll stays unbounded: a delta needs the
+		// previous poll's row even when the fingerprint just fell out of
+		// the top N.
+		endpoint += fmt.Sprintf("&limit=%d", *limit)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	rep, err := fetch(client, endpoint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *watch <= 0 {
+		printTotals(os.Stdout, rep)
+		return
+	}
+
+	prev := rep
+	last := time.Now()
+	ticker := time.NewTicker(*watch)
+	defer ticker.Stop()
+	for range ticker.C {
+		cur, err := fetch(client, endpoint)
+		if err != nil {
+			log.Print(err)
+			continue
+		}
+		now := time.Now()
+		fmt.Printf("\n-- %s (interval %s) --\n", now.Format("15:04:05"), now.Sub(last).Round(time.Millisecond))
+		if cur.Generation != prev.Generation {
+			// The server was reset between polls: totals restarted from
+			// zero, so this window has no valid baseline.
+			fmt.Printf("(stats reset: generation %d -> %d; rebaselining)\n", prev.Generation, cur.Generation)
+		} else {
+			printDeltas(os.Stdout, prev, cur, now.Sub(last))
+		}
+		prev, last = cur, now
+	}
+}

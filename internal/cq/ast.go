@@ -17,6 +17,7 @@ package cq
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/value"
@@ -336,6 +337,86 @@ func (q *Query) String() string {
 		b.WriteString(a.String())
 	}
 	return b.String()
+}
+
+// Fingerprint returns the query's constant-normalized canonical form —
+// the aggregation key of the server's per-query statistics store. Like
+// Signature it numbers variables by first occurrence, but it also
+// replaces every constant (head and body) with a positional $N
+// placeholder, so two queries that differ only in their constant
+// bindings share one fingerprint. The head predicate name is kept: it is
+// how operators recognize their own queries in a top-queries table. The
+// constants themselves are returned in placeholder order so the caller
+// can count distinct bindings per fingerprint.
+func (q *Query) Fingerprint() (string, []value.Value) {
+	next := 0
+	names := make(map[string]string)
+	var consts []value.Value
+	canon := func(t Term) string {
+		if !t.IsVar {
+			consts = append(consts, t.Const)
+			return "$" + strconv.Itoa(len(consts))
+		}
+		n, ok := names[t.Name]
+		if !ok {
+			n = fmt.Sprintf("v%d", next)
+			next++
+			names[t.Name] = n
+		}
+		return n
+	}
+	var b strings.Builder
+	if len(q.Params) > 0 {
+		b.WriteString("lambda ")
+		for i, p := range q.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(canon(Var(p)))
+		}
+		b.WriteString(". ")
+	}
+	b.WriteString(q.Name)
+	b.WriteByte('(')
+	for i, t := range q.Head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(canon(t))
+	}
+	b.WriteString(") :- ")
+	if len(q.Body) == 0 {
+		b.WriteString("true")
+		return b.String(), consts
+	}
+	for i, a := range q.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Predicate)
+		b.WriteByte('(')
+		for j, t := range a.Terms {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(canon(t))
+		}
+		b.WriteByte(')')
+	}
+	return b.String(), consts
+}
+
+// ConstHash folds a constant binding (the []value.Value a Fingerprint
+// call extracted) into one 64-bit identity, FNV-style over the values'
+// own hashes. Used by the statistics store to count distinct bindings
+// without retaining the constants.
+func ConstHash(consts []value.Value) uint64 {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for _, c := range consts {
+		h ^= c.Hash()
+		h *= 1099511628211 // FNV-64 prime
+	}
+	return h
 }
 
 // Signature returns a canonical string identifying the query shape with

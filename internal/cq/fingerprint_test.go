@@ -1,0 +1,83 @@
+package cq
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestFingerprintNormalizesConstants(t *testing.T) {
+	// Two queries differing only in constants share one fingerprint but
+	// hash to distinct constant bindings.
+	q1, err := Parse("Q(FName) :- Family(11, FName, Desc)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Parse("Q(FName) :- Family(12, FName, Desc)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, c1 := q1.Fingerprint()
+	fp2, c2 := q2.Fingerprint()
+	if fp1 != fp2 {
+		t.Fatalf("fingerprints differ:\n%s\n%s", fp1, fp2)
+	}
+	want := "Q(v0) :- Family($1, v0, v1)"
+	if fp1 != want {
+		t.Fatalf("fingerprint %q, want %q", fp1, want)
+	}
+	if len(c1) != 1 || len(c2) != 1 {
+		t.Fatalf("constants: %v, %v", c1, c2)
+	}
+	if ConstHash(c1) == ConstHash(c2) {
+		t.Fatal("distinct constants must hash differently")
+	}
+	// The same binding hashes identically across parses.
+	q3, _ := Parse("Q(FName) :- Family(11, FName, Desc)")
+	_, c3 := q3.Fingerprint()
+	if ConstHash(c1) != ConstHash(c3) {
+		t.Fatal("equal constants must hash equally")
+	}
+}
+
+func TestFingerprintCanonicalVariables(t *testing.T) {
+	// Variable names don't matter; their binding pattern does.
+	a, _ := Parse("Q(X) :- Family(Y, X, Z)")
+	b, _ := Parse("Q(Name) :- Family(ID, Name, Desc)")
+	fa, _ := a.Fingerprint()
+	fb, _ := b.Fingerprint()
+	if fa != fb {
+		t.Fatalf("alpha-equivalent queries must share a fingerprint:\n%s\n%s", fa, fb)
+	}
+	// But a different join pattern is a different shape.
+	c, _ := Parse("Q(X) :- Family(X, X, Z)")
+	fc, _ := c.Fingerprint()
+	if fc == fa {
+		t.Fatalf("distinct binding patterns must not collide: %s", fc)
+	}
+	// The head predicate name is part of the shape (operators read it).
+	d, _ := Parse("R(X) :- Family(Y, X, Z)")
+	fd, _ := d.Fingerprint()
+	if fd == fa {
+		t.Fatal("head name must distinguish fingerprints")
+	}
+}
+
+func TestFingerprintLambda(t *testing.T) {
+	q, err := Parse("lambda FID. V1(FID, FName, Desc) :- Family(FID, FName, Desc)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, consts := q.Fingerprint()
+	want := "lambda v0. V1(v0, v1, v2) :- Family(v0, v1, v2)"
+	if fp != want {
+		t.Fatalf("fingerprint %q, want %q", fp, want)
+	}
+	if len(consts) != 0 {
+		t.Fatalf("no constants expected, got %v", consts)
+	}
+	// ConstHash of the empty binding is stable (the FNV offset basis).
+	if ConstHash(nil) != ConstHash([]value.Value{}) {
+		t.Fatal("empty bindings must hash equally")
+	}
+}

@@ -5,16 +5,19 @@ import (
 	"net/http/pprof"
 	"strconv"
 
+	"repro/internal/qstats"
 	"repro/internal/trace"
 )
 
 // registerDebug mounts the operator-facing debug surface: the recent-
-// trace ring on /debug/traces and the standard net/http/pprof handlers
-// under /debug/pprof/. Debug endpoints are deliberately outside the
+// trace ring on /debug/traces, the per-query statistics store on
+// /debug/querystats and the standard net/http/pprof handlers under
+// /debug/pprof/. Debug endpoints are deliberately outside the
 // instrument() wrapper — scraping a goroutine dump must not skew the
 // request metrics it is used to investigate.
 func (s *Server) registerDebug() {
 	s.mux.HandleFunc("/debug/traces", s.methodOnly(http.MethodGet, s.handleDebugTraces))
+	s.mux.HandleFunc("/debug/querystats", s.methodOnly(http.MethodGet, s.handleDebugQueryStats))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -22,10 +25,28 @@ func (s *Server) registerDebug() {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
+// snapshotHasStage reports whether any span in the tree carries the
+// given name.
+func snapshotHasStage(sp trace.SpanSnapshot, stage string) bool {
+	if sp.Name == stage {
+		return true
+	}
+	for _, c := range sp.Children {
+		if snapshotHasStage(c, stage) {
+			return true
+		}
+	}
+	return false
+}
+
 // handleDebugTraces serves the most recent request traces, newest
-// first, as JSON span trees. ?limit=N caps the count. Snapshots are
-// taken at read time, so a trace whose detached computation is still
-// running renders its consistent prefix (open spans show dur_us 0).
+// first, as JSON span trees. ?limit=N caps the count, ?min_ms=N keeps
+// only traces at least that slow, and ?stage=name keeps only traces
+// whose span tree contains the named stage — so an operator can pull
+// "slow traces" or "traces that materialized a view" straight from the
+// ring. Filters apply before the limit. Snapshots are taken at read
+// time, so a trace whose detached computation is still running renders
+// its consistent prefix (open spans show dur_us 0).
 func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	if s.ring == nil {
 		writeError(w, http.StatusNotFound, "trace ring disabled (server started with TraceRing < 0)")
@@ -40,12 +61,80 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	traces := s.ring.Snapshot(limit)
-	if traces == nil {
-		traces = []trace.TraceSnapshot{}
+	minMS := 0.0
+	if ms := r.URL.Query().Get("min_ms"); ms != "" {
+		f, err := strconv.ParseFloat(ms, 64)
+		if err != nil || f < 0 {
+			writeError(w, http.StatusBadRequest, "invalid min_ms "+strconv.Quote(ms)+": want a non-negative number")
+			return
+		}
+		minMS = f
+	}
+	stage := r.URL.Query().Get("stage")
+	// Filters see the whole ring; the limit caps what survives them.
+	traces := s.ring.Snapshot(0)
+	filtered := traces[:0]
+	for _, t := range traces {
+		if float64(t.DurUS) < minMS*1e3 {
+			continue
+		}
+		if stage != "" && !snapshotHasStage(t.Root, stage) {
+			continue
+		}
+		filtered = append(filtered, t)
+		if limit > 0 && len(filtered) == limit {
+			break
+		}
+	}
+	if filtered == nil {
+		filtered = []trace.TraceSnapshot{}
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Count  int                   `json:"count"`
 		Traces []trace.TraceSnapshot `json:"traces"`
-	}{Count: len(traces), Traces: traces})
+	}{Count: len(filtered), Traces: filtered})
+}
+
+// queryStatsResponse is the GET /debug/querystats reply: the store's
+// own accounting (generation, since, sketch width, saturation counters)
+// plus the fingerprint rows. cmd/citestat consumes it verbatim.
+type queryStatsResponse struct {
+	qstats.Stats
+	Sort string               `json:"sort"`
+	Rows []qstats.RowSnapshot `json:"rows"`
+}
+
+// handleDebugQueryStats serves the per-query statistics rows. ?sort=
+// picks the order (total_time, the default; calls; tuples), ?limit=N
+// caps the row count, and ?reset=1 on a POST-free debug surface is
+// deliberately not offered — Reset is the embedder's call
+// (Server.QueryStats().Reset()).
+func (s *Server) handleDebugQueryStats(w http.ResponseWriter, r *http.Request) {
+	if s.qstats == nil {
+		writeError(w, http.StatusNotFound, "query statistics disabled (server started with QueryStats < 0)")
+		return
+	}
+	sortKey := r.URL.Query().Get("sort")
+	if !qstats.ValidSort(sortKey) {
+		writeError(w, http.StatusBadRequest, "invalid sort "+strconv.Quote(sortKey)+`: want "total_time", "calls" or "tuples"`)
+		return
+	}
+	limit := 0
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "invalid limit "+strconv.Quote(ls)+": want a positive integer")
+			return
+		}
+		limit = n
+	}
+	stats, rows := s.qstats.Snapshot(sortKey, limit)
+	if rows == nil {
+		rows = []qstats.RowSnapshot{}
+	}
+	resp := queryStatsResponse{Stats: stats, Sort: sortKey, Rows: rows}
+	if resp.Sort == "" {
+		resp.Sort = qstats.SortTotalTime
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

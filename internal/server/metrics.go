@@ -42,12 +42,18 @@ type serverMetrics struct {
 	// stages holds per-pipeline-stage engine-time histograms, fed from
 	// finished request traces (one observation per ended span).
 	stages *trace.HistogramVec
+	// admissionWait is the time /cite requests spend queueing on the
+	// in-flight semaphore (rejections included, measured until the
+	// deadline fired). Always on, like the endpoint latencies — the
+	// admission *span* exists only on sampled requests.
+	admissionWait *trace.Histogram
 }
 
 func newServerMetrics(endpoints []string) *serverMetrics {
 	m := &serverMetrics{
-		endpoints: make(map[string]*endpointStats, len(endpoints)),
-		stages:    trace.NewHistogramVec(nil),
+		endpoints:     make(map[string]*endpointStats, len(endpoints)),
+		stages:        trace.NewHistogramVec(nil),
+		admissionWait: trace.NewHistogram(nil),
 	}
 	for _, e := range endpoints {
 		m.endpoints[e] = &endpointStats{latency: trace.NewHistogram(nil)}
@@ -97,17 +103,42 @@ func (m *serverMetrics) instrument(endpoint string, h http.HandlerFunc) http.Han
 	}
 }
 
+// labelEscaper rewrites a label value for the Prometheus text exposition
+// format, which escapes exactly backslash, double-quote and newline
+// inside quoted label values. Go's %q is close but not conformant — it
+// escapes every control character (a tab becomes the two bytes \t,
+// which a strict scraper rejects), so label values are escaped here and
+// rendered with plain %s inside hand-written quotes.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabel returns the label value escaped per the text exposition
+// spec. Any string — a query fingerprint, an fsync mode, a version
+// string — is safe to interpolate after this.
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
 // writeHistogram renders one label's histogram as a Prometheus family
 // member: cumulative _bucket series (with the mandatory +Inf bucket),
 // then _sum and _count.
 func writeHistogram(w *strings.Builder, name, label, labelValue string, s trace.HistogramSnapshot) {
+	lv := escapeLabel(labelValue)
 	for i, bound := range s.Bounds {
-		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n",
-			name, label, labelValue, strconv.FormatFloat(bound, 'g', -1, 64), s.Cumulative[i])
+		fmt.Fprintf(w, "%s_bucket{%s=\"%s\",le=\"%s\"} %d\n",
+			name, label, lv, strconv.FormatFloat(bound, 'g', -1, 64), s.Cumulative[i])
 	}
-	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, labelValue, s.Count)
-	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, labelValue, s.Sum)
-	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, labelValue, s.Count)
+	fmt.Fprintf(w, "%s_bucket{%s=\"%s\",le=\"+Inf\"} %d\n", name, label, lv, s.Count)
+	fmt.Fprintf(w, "%s_sum{%s=\"%s\"} %g\n", name, label, lv, s.Sum)
+	fmt.Fprintf(w, "%s_count{%s=\"%s\"} %d\n", name, label, lv, s.Count)
+}
+
+// writeBareHistogram renders an unlabeled histogram family.
+func writeBareHistogram(w *strings.Builder, name string, s trace.HistogramSnapshot) {
+	for i, bound := range s.Bounds {
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n",
+			name, strconv.FormatFloat(bound, 'g', -1, 64), s.Cumulative[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, s.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
 }
 
 // render writes the metrics in Prometheus text exposition format. The
@@ -131,11 +162,11 @@ func (m *serverMetrics) render(w *strings.Builder, s *Server) {
 
 	counter("citeserved_requests_total", "Requests handled, by endpoint.")
 	for _, e := range names {
-		fmt.Fprintf(w, "citeserved_requests_total{endpoint=%q} %d\n", e, m.endpoints[e].requests.Load())
+		fmt.Fprintf(w, "citeserved_requests_total{endpoint=\"%s\"} %d\n", escapeLabel(e), m.endpoints[e].requests.Load())
 	}
 	counter("citeserved_request_errors_total", "Responses with status >= 400, by endpoint.")
 	for _, e := range names {
-		fmt.Fprintf(w, "citeserved_request_errors_total{endpoint=%q} %d\n", e, m.endpoints[e].errors.Load())
+		fmt.Fprintf(w, "citeserved_request_errors_total{endpoint=\"%s\"} %d\n", escapeLabel(e), m.endpoints[e].errors.Load())
 	}
 	histogram("citeserved_request_duration_seconds", "Request handling latency, by endpoint.")
 	for _, e := range names {
@@ -198,6 +229,18 @@ func (m *serverMetrics) render(w *strings.Builder, s *Server) {
 	fmt.Fprintf(w, "citeserved_timeouts_total %d\n", m.timeouts.Load())
 	gauge("citeserved_inflight_requests", "Requests currently being handled.")
 	fmt.Fprintf(w, "citeserved_inflight_requests %d\n", m.inflight.Load())
+	histogram("citeserved_admission_wait_seconds", "Time /cite requests queue on the admission semaphore (rejections included).")
+	writeBareHistogram(w, "citeserved_admission_wait_seconds", m.admissionWait.Snapshot())
+
+	if s.qstats != nil {
+		qs := s.qstats.Stats()
+		gauge("citeserved_querystats_tracked", "Query fingerprints currently tracked by the statistics sketch.")
+		fmt.Fprintf(w, "citeserved_querystats_tracked %d\n", qs.Tracked)
+		counter("citeserved_querystats_evicted_total", "Fingerprints displaced from the sketch at capacity (saturation signal).")
+		fmt.Fprintf(w, "citeserved_querystats_evicted_total %d\n", qs.Evicted)
+		counter("citeserved_querystats_observations_total", "Query calls observed by the statistics store.")
+		fmt.Fprintf(w, "citeserved_querystats_observations_total %d\n", qs.Observations)
+	}
 	epoch, storeVersion := s.sys.Versions()
 	gauge("citeserved_epoch", "System version token (bumped by commit/view/policy changes).")
 	fmt.Fprintf(w, "citeserved_epoch %d\n", epoch)
@@ -205,7 +248,7 @@ func (m *serverMetrics) render(w *strings.Builder, s *Server) {
 	fmt.Fprintf(w, "citeserved_store_version %d\n", storeVersion)
 
 	gauge("citeserved_build_info", "Build metadata; the value is always 1.")
-	fmt.Fprintf(w, "citeserved_build_info{version=%q,go_version=%q} 1\n", Version, runtime.Version())
+	fmt.Fprintf(w, "citeserved_build_info{version=\"%s\",go_version=\"%s\"} 1\n", escapeLabel(Version), escapeLabel(runtime.Version()))
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	gauge("citeserved_goroutines", "Goroutines currently live in the process.")
@@ -231,6 +274,6 @@ func (m *serverMetrics) render(w *strings.Builder, s *Server) {
 		gauge("citeserved_recovered_version", "Latest committed version rebuilt from the data directory at boot.")
 		fmt.Fprintf(w, "citeserved_recovered_version %d\n", dur.RecoveredVersion)
 		gauge("citeserved_wal_fsync_mode", "Active fsync policy (1 for the mode in the label).")
-		fmt.Fprintf(w, "citeserved_wal_fsync_mode{mode=%q} 1\n", dur.Fsync)
+		fmt.Fprintf(w, "citeserved_wal_fsync_mode{mode=\"%s\"} 1\n", escapeLabel(string(dur.Fsync)))
 	}
 }

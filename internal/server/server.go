@@ -56,6 +56,7 @@ import (
 	"repro/internal/cq"
 	"repro/internal/fixity"
 	"repro/internal/format"
+	"repro/internal/qstats"
 	"repro/internal/schema"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -112,6 +113,11 @@ type Options struct {
 	SlowQuery time.Duration
 	// SlowQueryLog receives the slow-query lines. nil means os.Stderr.
 	SlowQueryLog io.Writer
+	// QueryStats is the width (tracked fingerprints) of the per-query
+	// statistics sketch fed by sampled traces and served on GET
+	// /debug/querystats. 0 means qstats.DefaultK (256); negative
+	// disables the store (the endpoint then answers 404).
+	QueryStats int
 }
 
 // Server serves a core.System over HTTP. Create with New, mount via
@@ -127,6 +133,7 @@ type Server struct {
 	sem     chan struct{}     // admission control; nil = unlimited
 	ring    *trace.Ring       // recent traces for /debug/traces; nil = disabled
 	slowLog *trace.SlowLogger // nil = slow-query logging disabled
+	qstats  *qstats.Store     // per-fingerprint statistics; nil = disabled
 
 	// citer computes a batch of citations with per-query errors, against
 	// the head when version is 0 or the committed snapshot otherwise. It
@@ -177,6 +184,9 @@ func New(sys *core.System, opts Options) *Server {
 			w = os.Stderr
 		}
 		s.slowLog = trace.NewSlowLogger(w)
+	}
+	if opts.QueryStats >= 0 {
+		s.qstats = qstats.NewStore(opts.QueryStats)
 	}
 	s.citer = func(ctx context.Context, queries []string, version fixity.Version) ([]*core.Citation, []error) {
 		if version > 0 {
@@ -258,6 +268,10 @@ type CacheStats struct {
 	Hits, Misses, Coalesced, Evictions, Entries int64
 	Kept, Invalidated                           int64
 }
+
+// QueryStats returns the per-query statistics store, or nil when
+// Options.QueryStats disabled it.
+func (s *Server) QueryStats() *qstats.Store { return s.qstats }
 
 // CacheStats snapshots the result-cache counters.
 func (s *Server) CacheStats() CacheStats {
@@ -379,11 +393,15 @@ func (s *Server) sampleTrace() bool {
 	return rand.Float64() < sr
 }
 
-// observeTrace publishes one finished request trace to its three sinks:
+// observeTrace publishes one finished request trace to its four sinks:
 // every ended span feeds the per-stage histograms, the trace enters the
-// /debug/traces ring, and a request at or over the slow-query threshold
-// emits one slow-query log line with the full span tree.
-func (s *Server) observeTrace(endpoint string, tr *trace.Trace, queries []string) {
+// /debug/traces ring, a request at or over the slow-query threshold
+// emits one slow-query log line with the full span tree, and the
+// per-query statistics store accumulates the request's cost vector
+// under each query's fingerprint. results carries the batch's per-query
+// outcomes (nil when the request was rejected before computing — such
+// requests have no per-query story to account).
+func (s *Server) observeTrace(endpoint string, tr *trace.Trace, queries []string, results []CiteResult) {
 	if tr == nil {
 		return
 	}
@@ -406,6 +424,17 @@ func (s *Server) observeTrace(endpoint string, tr *trace.Trace, queries []string
 			Queries:     queries,
 			Spans:       tr.Root().Snapshot(),
 		})
+	}
+	if s.qstats != nil && len(results) > 0 {
+		outcomes := make([]qstats.Outcome, len(results))
+		for i, res := range results {
+			outcomes[i] = qstats.Outcome{
+				Query: res.Query,
+				Cache: res.Cache,
+				Err:   res.Error != "",
+			}
+		}
+		s.qstats.ObserveRequest(tr, outcomes)
 	}
 }
 
@@ -452,26 +481,35 @@ func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The trace starts after validation so every trace created is also
-	// finished and observed (ring, stage histograms, slow-query log) on
-	// every remaining return path.
+	// finished and observed (ring, stage histograms, slow-query log,
+	// query statistics) on every remaining return path. results is
+	// assigned after citeBatch, so a request rejected at admission feeds
+	// the trace sinks but no per-query statistics (nil results).
+	var results []CiteResult
 	var tr *trace.Trace
 	if s.sampleTrace() {
 		tr = trace.New("cite")
 		ctx = trace.NewContext(ctx, tr)
 		defer func() {
 			tr.Finish()
-			s.observeTrace("cite", tr, queries)
+			s.observeTrace("cite", tr, queries, results)
 		}()
 	}
 	var slot *slotRef
 	if s.sem != nil {
+		// The wait is measured directly (not via the admission span):
+		// the histogram is always on, like the endpoint latencies, while
+		// the span exists only on sampled requests.
 		_, admSpan := trace.StartSpan(ctx, "admission")
+		admStart := time.Now()
 		select {
 		case s.sem <- struct{}{}:
+			s.metrics.admissionWait.Observe(time.Since(admStart))
 			admSpan.End()
 			slot = newSlotRef(func() { <-s.sem })
 			defer slot.done()
 		case <-ctx.Done():
+			s.metrics.admissionWait.Observe(time.Since(admStart))
 			admSpan.Set("rejected", true)
 			admSpan.End()
 			s.metrics.rejected.Add(1)
@@ -480,7 +518,8 @@ func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	results, errs, epoch, respVersion, timedOut := s.citeBatch(ctx, queries, version, slot)
+	batch, errs, epoch, respVersion, timedOut := s.citeBatch(ctx, queries, version, slot)
+	results = batch
 	if timedOut {
 		s.metrics.timeouts.Add(1)
 	}
@@ -508,7 +547,8 @@ func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
 		resp.Trace = &snap
 	}
 	_, encSpan := trace.StartSpan(ctx, "encode")
-	writeJSON(w, http.StatusOK, resp)
+	n := writeJSON(w, http.StatusOK, resp)
+	encSpan.Add("bytes", int64(n))
 	encSpan.End()
 }
 
@@ -1112,12 +1152,29 @@ func decodeBody(r *http.Request, into any) error {
 	return nil
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v onto the response and returns the bytes written
+// (the encode span's "bytes" attribute, which qstats aggregates into
+// per-fingerprint response sizes).
+func writeJSON(w http.ResponseWriter, status int, v any) int {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+	return cw.n
+}
+
+// countingWriter counts bytes on their way to the client.
+type countingWriter struct {
+	w io.Writer
+	n int
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += n
+	return n, err
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

@@ -231,6 +231,53 @@ func (s *Span) Add(key string, n int64) {
 	s.mu.Unlock()
 }
 
+// Attr reads one attribute of the span. Nil-safe (reports absent).
+func (s *Span) Attr(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	v, ok := s.attrs[key]
+	s.mu.Unlock()
+	return v, ok
+}
+
+// AttrInt reads an integer attribute, coercing the int/int64 values Set
+// and Add store. Absent or non-numeric attributes read as 0.
+func (s *Span) AttrInt(key string) int64 {
+	v, ok := s.Attr(key)
+	if !ok {
+		return 0
+	}
+	switch n := v.(type) {
+	case int64:
+		return n
+	case int:
+		return int64(n)
+	}
+	return 0
+}
+
+// Visit walks the span subtree preorder, calling fn on every span
+// (ended or not). Like Snapshot it copies each span's child list under
+// the span mutex, so it is safe against a detached computation still
+// appending — the walk sees a consistent prefix of the final tree.
+// Nil-safe. This is the extraction path of the per-query statistics
+// store: costs are read from live spans (full nanosecond durations, no
+// snapshot allocation) after the root finishes.
+func (s *Span) Visit(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		c.Visit(fn)
+	}
+}
+
 // SpanSnapshot is the plain-data rendering of one span, the unit of
 // the JSON span tree emitted by the slow-query log, /debug/traces and
 // the ?trace=1 echo. Durations are microseconds: coarse enough to

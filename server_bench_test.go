@@ -135,11 +135,13 @@ func benchServerCite(b *testing.B, path string) {
 }
 
 // BenchmarkServerCiteTraceOverhead pits span tracing disabled
-// (TraceSample -1) against the fully instrumented default (every
-// request traced, ring + stage histograms fed) on the warm 16-client
-// ServerCite configuration — the hot path where instrumentation
-// overhead is proportionally largest, since a cache hit does no engine
-// work to hide behind.
+// (TraceSample -1, which also starves the query-statistics store — it
+// is fed from finished traces) against the fully instrumented default
+// (every request traced; ring, stage histograms and per-fingerprint
+// qstats accumulation all fed) on the warm 16-client ServerCite
+// configuration — the hot path where instrumentation overhead is
+// proportionally largest, since a cache hit does no engine work to
+// hide behind.
 //
 // The comparison is paired: both servers exist at once and the
 // benchmark alternates slices of requests between them, accumulating
